@@ -1,0 +1,134 @@
+#pragma once
+
+// Shared formatting helpers for the reproduction harnesses. Each bench
+// prints the rows/series of one table or figure from the paper; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Set KWIKR_CSV_DIR=<dir> to additionally dump every printed series/CDF as a
+// plot-ready CSV file named after the experiment.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/percentile.h"
+
+namespace kwikr::bench {
+namespace internal {
+
+inline std::string& CurrentExperiment() {
+  static std::string name;
+  return name;
+}
+
+inline std::string Slug(const std::string& text) {
+  std::string slug;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+    if (slug.size() >= 48) break;
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+/// Opens <KWIKR_CSV_DIR>/<experiment>_<kind>.csv, or nullptr when CSV export
+/// is off. The caller fcloses.
+inline std::FILE* OpenCsv(const char* kind) {
+  const char* dir = std::getenv("KWIKR_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return nullptr;
+  static int sequence = 0;
+  char path[512];
+  std::snprintf(path, sizeof(path), "%s/%s_%02d_%s.csv", dir,
+                Slug(CurrentExperiment()).c_str(), sequence++, kind);
+  return std::fopen(path, "w");
+}
+
+}  // namespace internal
+
+inline void Header(const char* experiment, const char* description) {
+  internal::CurrentExperiment() = experiment;
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("==============================================================\n");
+}
+
+/// Prints a time series as "t=<s>  <label0>=<v0> <label1>=<v1> ...", one row
+/// per `stride` seconds. With KWIKR_CSV_DIR set, the full-resolution series
+/// is also written as CSV.
+inline void PrintSeries(std::span<const std::string> labels,
+                        std::span<const std::vector<double>> series,
+                        int stride = 2) {
+  std::size_t length = 0;
+  for (const auto& s : series) length = std::max(length, s.size());
+  std::printf("%6s", "t(s)");
+  for (const auto& label : labels) std::printf(" %12s", label.c_str());
+  std::printf("\n");
+  for (std::size_t t = 0; t < length; t += stride) {
+    std::printf("%6zu", t);
+    for (const auto& s : series) {
+      if (t < s.size()) {
+        std::printf(" %12.1f", s[t]);
+      } else {
+        std::printf(" %12s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (std::FILE* csv = internal::OpenCsv("series")) {
+    std::fprintf(csv, "t_s");
+    for (const auto& label : labels) {
+      std::fprintf(csv, ",%s", label.c_str());
+    }
+    std::fprintf(csv, "\n");
+    for (std::size_t t = 0; t < length; ++t) {
+      std::fprintf(csv, "%zu", t);
+      for (const auto& s : series) {
+        if (t < s.size()) {
+          std::fprintf(csv, ",%g", s[t]);
+        } else {
+          std::fprintf(csv, ",");
+        }
+      }
+      std::fprintf(csv, "\n");
+    }
+    std::fclose(csv);
+  }
+}
+
+/// Prints the paper's percentile bars (50th/75th/90th/95th).
+inline void PrintPercentiles(const char* label,
+                             std::span<const double> samples) {
+  std::printf("%-24s 50th=%8.2f 75th=%8.2f 90th=%8.2f 95th=%8.2f (n=%zu)\n",
+              label, stats::Percentile(samples, 50.0),
+              stats::Percentile(samples, 75.0),
+              stats::Percentile(samples, 90.0),
+              stats::Percentile(samples, 95.0), samples.size());
+}
+
+/// Prints a CDF as value rows at fixed cumulative fractions; with
+/// KWIKR_CSV_DIR set, the full empirical CDF is also written as CSV.
+inline void PrintCdf(const char* label, std::span<const double> samples) {
+  stats::EmpiricalCdf cdf(std::vector<double>(samples.begin(), samples.end()));
+  std::printf("%s CDF (n=%zu):\n", label, samples.size());
+  for (double p : {5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    std::printf("  p%-4.0f %10.1f\n", p, cdf.Quantile(p));
+  }
+  if (std::FILE* csv = internal::OpenCsv("cdf")) {
+    std::fprintf(csv, "value,fraction,label\n");
+    for (const auto& [value, fraction] : cdf.Curve(512)) {
+      std::fprintf(csv, "%g,%g,%s\n", value, fraction, label);
+    }
+    std::fclose(csv);
+  }
+}
+
+}  // namespace kwikr::bench

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: event
+// loop scheduling, RNG, UKF updates, checksum, EDCA channel throughput, and
+// a full call-experiment second.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "net/checksum.h"
+#include "rtc/ukf.h"
+#include "scenario/call_experiment.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "stats/percentile.h"
+#include "wifi/channel.h"
+
+using namespace kwikr;
+
+namespace {
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.ScheduleIn(i, [&counter] { ++counter; });
+    }
+    loop.Run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_UkfUpdate(benchmark::State& state) {
+  rtc::LeakyBucketUkf ukf;
+  double delay = 0.0;
+  for (auto _ : state) {
+    delay = delay > 0.1 ? 0.0 : delay + 0.001;
+    ukf.Update(delay, 1200.0, 0.02, 0.01);
+  }
+  benchmark::DoNotOptimize(ukf.bandwidth_bps());
+}
+BENCHMARK(BM_UkfUpdate);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(state.range(0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::InternetChecksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1500);
+
+void BM_Percentile(benchmark::State& state) {
+  sim::Rng rng(7);
+  std::vector<double> samples;
+  samples.reserve(state.range(0));
+  for (int i = 0; i < state.range(0); ++i) {
+    samples.push_back(rng.UniformDouble());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::Percentile(samples, 95.0));
+  }
+}
+BENCHMARK(BM_Percentile)->Arg(1000)->Arg(100000);
+
+void BM_SaturatedEdcaChannel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    wifi::Channel channel(loop, sim::Rng{3});
+    std::uint64_t delivered = 0;
+    const wifi::OwnerId dst =
+        channel.RegisterOwner([&](wifi::Frame) { ++delivered; });
+    const wifi::OwnerId src = channel.RegisterOwner(nullptr);
+    const wifi::ContenderId c = channel.CreateContender(
+        src, wifi::AccessCategory::kBestEffort, wifi::DefaultEdcaParams()[1],
+        4096);
+    for (int i = 0; i < 1000; ++i) {
+      wifi::Frame frame;
+      frame.dest = dst;
+      frame.phy_rate_bps = 65'000'000;
+      frame.packet.size_bytes = 1500;
+      channel.Enqueue(c, std::move(frame));
+    }
+    loop.Run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SaturatedEdcaChannel);
+
+void BM_CallExperimentSecond(benchmark::State& state) {
+  // Cost of one simulated second of a congested call (whole pipeline).
+  for (auto _ : state) {
+    scenario::ExperimentConfig config;
+    config.seed = 1;
+    config.duration = sim::Seconds(10);
+    config.cross_stations = 1;
+    config.flows_per_station = 5;
+    config.congestion_start = sim::Seconds(1);
+    config.congestion_end = sim::Seconds(9);
+    const auto metrics = scenario::RunCallExperiment(config);
+    benchmark::DoNotOptimize(metrics.calls[0].mean_rate_kbps);
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // sim-seconds.
+}
+BENCHMARK(BM_CallExperimentSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Section 5.5: checking for WMM prioritization. Reproduces (a) the six-AP
+// accuracy test ("checking for reversal in at least 3 of 5 runs led to
+// accurate detection"), (b) the mTurk-style prevalence survey over a
+// population of APs with the paper's measured 77% WMM prior, and (c) an
+// ablation showing the detector's conservative fallback on idle APs (no
+// standing queue to observe; see core::WmmDetector documentation).
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/wmm_detector.h"
+#include "scenario/testbed.h"
+#include "wifi/rate_table.h"
+
+using namespace kwikr;
+
+namespace {
+
+struct ApModel {
+  const char* name;
+  wifi::Band band;
+  int mcs;  ///< client rate index.
+  std::array<std::size_t, wifi::kNumAccessCategories> queues;
+};
+
+bool DetectOnce(const ApModel& model, bool wmm, bool ambient,
+                std::uint64_t seed) {
+  scenario::Testbed testbed(
+      scenario::Testbed::Config{seed, wifi::PhyParams{}});
+  scenario::Bss::Config bc;
+  bc.ap.band = model.band;
+  bc.ap.wmm_enabled = wmm;
+  bc.ap.queue_capacity = model.queues;
+  auto& bss = testbed.AddBss(bc);
+  const std::int64_t rate = wifi::McsRates(model.band)[model.mcs];
+  auto& client = bss.AddStation(testbed.NextStationAddress(), rate);
+  auto& sink = bss.AddStation(testbed.NextStationAddress(), rate);
+
+  if (ambient) {
+    // Ambient downlink traffic (the environments the paper probed all had
+    // some): TCP keeps a standing queue at any PHY rate.
+    testbed.AddTcpBulkFlows(bss, sink, 6);
+    testbed.StartCrossTraffic();
+  }
+
+  scenario::StationProbeTransport transport(testbed.loop(), testbed.ids(),
+                                            client, bss.ap().address());
+  core::WmmDetector detector(testbed.loop(), transport,
+                             core::WmmDetector::Config{});
+  client.AddReceiver([&](const net::Packet& p, sim::Time at) {
+    if (p.protocol == net::Protocol::kIcmp) detector.OnReply(p, at);
+  });
+  core::WmmResult result;
+  // Let the TCP flows fill the queue before probing.
+  testbed.loop().RunUntil(sim::Seconds(8));
+  detector.Run([&](const core::WmmResult& r) { result = r; });
+  testbed.loop().RunUntil(sim::Seconds(14));
+  return result.wmm_enabled;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Section 5.5 — WMM prioritization detection",
+                "Six AP models x 5 detection runs each; then a prevalence "
+                "survey over\n171 APs (77% WMM prior, the paper's measured "
+                "value).");
+
+  const ApModel models[] = {
+      {"Netgear-2.4", wifi::Band::k2_4GHz, 3, {64, 150, 64, 64}},
+      {"Netgear-5", wifi::Band::k5GHz, 3, {64, 150, 64, 64}},
+      {"LinkSys", wifi::Band::k2_4GHz, 4, {32, 100, 32, 32}},
+      {"TP-Link", wifi::Band::k2_4GHz, 2, {64, 200, 64, 64}},
+      {"Cisco", wifi::Band::k5GHz, 5, {128, 256, 128, 128}},
+      {"D-Link", wifi::Band::k2_4GHz, 3, {64, 80, 64, 64}},
+  };
+
+  std::printf("\n--- six-AP accuracy (5 detections per AP and mode) ---\n");
+  std::printf("%-14s %14s %14s\n", "AP model", "WMM detected", "FIFO detected");
+  int correct = 0;
+  int total = 0;
+  for (const auto& model : models) {
+    int wmm_hits = 0;
+    int fifo_hits = 0;
+    for (int run = 0; run < 5; ++run) {
+      const std::uint64_t seed = 1400 + total * 10 + run;
+      if (DetectOnce(model, true, true, seed)) ++wmm_hits;
+      if (!DetectOnce(model, false, true, seed + 5)) ++fifo_hits;
+    }
+    correct += wmm_hits + fifo_hits;
+    ++total;
+    std::printf("%-14s %11d/5 %11d/5\n", model.name, wmm_hits, fifo_hits);
+  }
+  std::printf("overall accuracy: %.0f%% (paper: accurate detection in all "
+              "six networks)\n",
+              100.0 * correct / (static_cast<double>(total) * 10));
+
+  std::printf("\n--- prevalence survey: 171 APs, 77%% WMM prior ---\n");
+  sim::Rng population(2024);
+  int actually_wmm = 0;
+  int detected_wmm = 0;
+  int false_positives = 0;
+  int misses = 0;
+  for (int ap = 0; ap < 171; ++ap) {
+    const auto& model = models[population.UniformInt(0, 5)];
+    const bool wmm = population.Bernoulli(0.77);
+    actually_wmm += wmm ? 1 : 0;
+    const bool detected = DetectOnce(model, wmm, true,
+                                     3000 + static_cast<std::uint64_t>(ap));
+    detected_wmm += detected ? 1 : 0;
+    if (detected && !wmm) ++false_positives;
+    if (!detected && wmm) ++misses;
+  }
+  std::printf("ground truth WMM: %d/171 (%.0f%%)  detected: %d/171 (%.0f%%)\n",
+              actually_wmm, 100.0 * actually_wmm / 171.0, detected_wmm,
+              100.0 * detected_wmm / 171.0);
+  std::printf("false positives: %d, misses: %d (paper: 77%% of 171 APs "
+              "WMM-enabled)\n", false_positives, misses);
+
+  std::printf("\n--- ablation: idle AP (no ambient traffic) ---\n");
+  int idle_detected = 0;
+  for (int run = 0; run < 10; ++run) {
+    if (DetectOnce(models[0], true, false, 5000 + run)) ++idle_detected;
+  }
+  std::printf("WMM AP detected on idle network in %d/10 attempts — with no "
+              "standing\nqueue the detector conservatively reports no-WMM "
+              "and Kwikr falls back to\nbaseline behaviour (safe; paper "
+              "Section 7.3).\n", idle_detected);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// A miniature Wi-Fi diagnosis session, in the spirit of the paper's
+// Section 5 toolbox: check whether the AP honours WMM, measure the channel
+// access delay, then watch the downlink with Ping-Pair while a neighbouring
+// co-channel network becomes busy.
+//
+// Build & run:   ./build/examples/interference_probe
+#include <cstdio>
+
+#include "core/channel_access.h"
+#include "core/ping_pair.h"
+#include "core/wmm_detector.h"
+#include "scenario/testbed.h"
+#include "stats/percentile.h"
+
+using namespace kwikr;
+
+int main() {
+  scenario::Testbed testbed(scenario::Testbed::Config{33, wifi::PhyParams{}});
+  auto& home = testbed.AddBss(scenario::Bss::Config{});
+  scenario::Bss::Config neighbour_config;
+  neighbour_config.ap.address = 2;
+  auto& neighbour = testbed.AddBss(neighbour_config);
+
+  auto& client = home.AddStation(testbed.NextStationAddress(), 26'000'000);
+  auto& sink = home.AddStation(testbed.NextStationAddress(), 26'000'000);
+  scenario::StationProbeTransport transport(testbed.loop(), testbed.ids(),
+                                            client, home.ap().address());
+
+  // All three probing components share the client's ICMP receive path.
+  core::WmmDetector wmm(testbed.loop(), transport,
+                        core::WmmDetector::Config{});
+  core::ChannelAccessEstimator access(testbed.loop(), transport,
+                                      core::ChannelAccessEstimator::Config{},
+                                      testbed.channel().phy());
+  core::PingPairProber prober(testbed.loop(), transport,
+                              core::PingPairProber::Config{}, 1);
+  client.AddReceiver([&](const net::Packet& p, sim::Time at) {
+    if (p.protocol != net::Protocol::kIcmp) return;
+    wmm.OnReply(p, at);
+    access.OnReply(p, at);
+    prober.OnReply(p, at);
+  });
+
+  // Step 1: WMM check, with some of our own downlink traffic to observe
+  // (a file download to another device in the home).
+  testbed.AddTcpBulkFlows(home, sink, 4);
+  testbed.StartCrossTraffic();
+  testbed.loop().RunUntil(sim::Seconds(5));
+  wmm.Run([](const core::WmmResult& result) {
+    std::printf("[1] WMM prioritization: %s (%d/%d runs showed the "
+                "queue-jump)\n",
+                result.wmm_enabled ? "ENABLED — Ping-Pair applicable"
+                                   : "not detected — Kwikr falls back",
+                result.prioritized_runs, result.completed_runs);
+  });
+  testbed.loop().RunUntil(sim::Seconds(10));
+  testbed.StopCrossTraffic();
+
+  // Step 2: channel access delay on the now-quiet channel.
+  access.Start();
+  testbed.loop().RunUntil(sim::Seconds(15));
+  access.Stop();
+  std::printf("[2] channel access delay: %.0f us mean over %zu accepted "
+              "probes\n", sim::ToMicros(access.MeanEstimate()),
+              access.estimates().size());
+
+  // Step 3: watch the downlink while the co-channel neighbour gets busy.
+  auto& neighbour_client =
+      neighbour.AddStation(testbed.NextStationAddress(), 26'000'000);
+  testbed.AddTcpBulkFlows(neighbour, neighbour_client, 12);
+  prober.Start();
+  testbed.loop().RunUntil(sim::Seconds(25));
+  const std::size_t quiet_end = prober.samples().size();
+  testbed.StartCrossTraffic();
+  testbed.loop().RunUntil(sim::Seconds(45));
+  prober.Stop();
+
+  std::vector<double> quiet_ms;
+  std::vector<double> busy_ms;
+  for (std::size_t i = 0; i < prober.samples().size(); ++i) {
+    const double tq = sim::ToMillis(prober.samples()[i].tq);
+    (i < quiet_end ? quiet_ms : busy_ms).push_back(tq);
+  }
+  std::printf("[3] downlink delay while the neighbour idles: median "
+              "%.1f ms; while it downloads: median %.1f ms (p95 %.1f ms)\n",
+              stats::Percentile(quiet_ms, 50.0),
+              stats::Percentile(busy_ms, 50.0),
+              stats::Percentile(busy_ms, 95.0));
+  std::printf("    co-channel contention is visible from the client without "
+              "AP support or monitor mode.\n");
+  return 0;
+}

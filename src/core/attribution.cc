@@ -1,0 +1,30 @@
+#include "core/attribution.h"
+
+#include <algorithm>
+
+namespace kwikr::core {
+
+sim::Duration SelfDelay(const std::vector<SandwichedPacket>& sandwiched,
+                        const AttributionConfig& config,
+                        sim::Duration measured_channel_access) {
+  sim::Duration total = 0;
+  for (const auto& p : sandwiched) {
+    const std::int64_t rate =
+        p.mac_rate_bps > 0 ? p.mac_rate_bps : config.fallback_rate_bps;
+    total += sim::TransmissionTime(static_cast<std::int64_t>(p.size_bytes) * 8,
+                                   rate) +
+             measured_channel_access;
+  }
+  return total;
+}
+
+sim::Duration SelfDelay(const std::vector<SandwichedPacket>& sandwiched,
+                        const AttributionConfig& config) {
+  return SelfDelay(sandwiched, config, config.fixed_channel_access);
+}
+
+sim::Duration CrossDelay(sim::Duration tq, sim::Duration ta) {
+  return std::max<sim::Duration>(0, tq - ta);
+}
+
+}  // namespace kwikr::core

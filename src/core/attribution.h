@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace kwikr::core {
+
+/// One flow-of-interest packet observed by the client between the two ping
+/// responses ("sandwiched", paper Section 5.3).
+struct SandwichedPacket {
+  std::int32_t size_bytes = 0;
+  std::int64_t mac_rate_bps = 0;  ///< MAC data rate the frame used.
+};
+
+/// Configuration of the self-congestion attribution formula
+/// Ta = n_a * (s_a / R + t).
+struct AttributionConfig {
+  /// Channel access delay `t` per packet. The Android implementation uses a
+  /// fixed 0.125 ms (paper Section 7.3); the Linux implementation measures
+  /// it with the channel-access estimator and passes it per call.
+  sim::Duration fixed_channel_access = sim::Micros(125);
+  /// Fallback MAC rate when a packet carries none.
+  std::int64_t fallback_rate_bps = 65'000'000;
+};
+
+/// Computes Ta — the flow of interest's own contribution to the Wi-Fi
+/// downlink delay — by charging each sandwiched packet its transmission time
+/// plus the channel access delay.
+sim::Duration SelfDelay(const std::vector<SandwichedPacket>& sandwiched,
+                        const AttributionConfig& config);
+
+/// Same, with a measured channel access delay overriding the fixed value.
+sim::Duration SelfDelay(const std::vector<SandwichedPacket>& sandwiched,
+                        const AttributionConfig& config,
+                        sim::Duration measured_channel_access);
+
+/// Cross-traffic delay Tc = max(0, Tq - Ta).
+sim::Duration CrossDelay(sim::Duration tq, sim::Duration ta);
+
+}  // namespace kwikr::core

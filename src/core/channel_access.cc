@@ -1,0 +1,103 @@
+#include "core/channel_access.h"
+
+#include <algorithm>
+
+namespace kwikr::core {
+
+ChannelAccessEstimator::ChannelAccessEstimator(sim::EventLoop& loop,
+                                               ProbeTransport& transport,
+                                               Config config,
+                                               wifi::PhyParams phy)
+    : loop_(loop),
+      transport_(transport),
+      config_(config),
+      phy_(phy),
+      timer_(loop, config.interval, [this] { StartProbe(); }) {}
+
+void ChannelAccessEstimator::Start() { timer_.Start(sim::Duration{0}); }
+
+void ChannelAccessEstimator::Stop() { timer_.Stop(); }
+
+void ChannelAccessEstimator::ProbeOnce() { StartProbe(); }
+
+void ChannelAccessEstimator::StartProbe() {
+  const std::uint64_t id = next_probe_++;
+  probes_[id] = Probe{};
+  // Two same-priority pings, back to back.
+  transport_.SendEcho(config_.tos, config_.ident,
+                      static_cast<std::uint16_t>(id * 2),
+                      config_.ping_size_bytes);
+  transport_.SendEcho(config_.tos, config_.ident,
+                      static_cast<std::uint16_t>(id * 2 + 1),
+                      config_.ping_size_bytes);
+  loop_.ScheduleIn(config_.timeout, [this, id] { probes_.erase(id); });
+}
+
+void ChannelAccessEstimator::OnReply(const net::Packet& packet,
+                                     sim::Time arrival) {
+  if (packet.protocol != net::Protocol::kIcmp ||
+      packet.icmp.type != net::IcmpType::kEchoReply ||
+      packet.icmp.ident != config_.ident) {
+    return;
+  }
+  const std::uint64_t probe_id = packet.icmp.sequence / 2;
+  const int slot = packet.icmp.sequence & 1;
+  // Resolve the uint16 wrap against outstanding probes.
+  auto it = probes_.find(probe_id);
+  for (std::uint64_t base = probe_id + 0x8000;
+       it == probes_.end() && base < next_probe_; base += 0x8000) {
+    it = probes_.find(base);
+  }
+  if (it == probes_.end()) return;
+  Probe& probe = it->second;
+  if (probe.received[slot]) return;
+  probe.received[slot] = true;
+  probe.arrival[slot] = arrival;
+  probe.mac_sequence[slot] = packet.mac.sequence;
+  probe.retry[slot] = packet.mac.retry;
+  probe.rate_bps[slot] = packet.mac.data_rate_bps;
+  if (probe.received[0] && probe.received[1]) {
+    Complete(it->first, probe);
+    probes_.erase(it);
+  }
+}
+
+void ChannelAccessEstimator::Complete(std::uint64_t /*probe_id*/,
+                                      const Probe& probe) {
+  // The second reply (by arrival) is the one whose access delay we measure.
+  const int second = probe.arrival[1] >= probe.arrival[0] ? 1 : 0;
+  const int first = 1 - second;
+
+  if (config_.require_no_retry && (probe.retry[0] || probe.retry[1])) {
+    ++rejected_retry_;
+    return;
+  }
+  if (config_.require_consecutive_sequence) {
+    const auto expected = static_cast<std::uint16_t>(
+        (probe.mac_sequence[first] + 1) & 0x0FFF);
+    if (probe.mac_sequence[second] != expected) {
+      ++rejected_sequence_;
+      return;
+    }
+  }
+
+  const sim::Duration gap = probe.arrival[second] - probe.arrival[first];
+  const std::int64_t rate = probe.rate_bps[second] > 0
+                                ? probe.rate_bps[second]
+                                : 1'000'000;
+  // Transmission time of the second reply: preamble + payload+MAC overhead
+  // at the frame's data rate (+ SIFS + ACK, which also occupy the medium).
+  const sim::Duration tx_time =
+      phy_.FrameAirtime(config_.ping_size_bytes, rate);
+  const sim::Duration estimate = std::max<sim::Duration>(0, gap - tx_time);
+  estimates_.push_back(estimate);
+}
+
+sim::Duration ChannelAccessEstimator::MeanEstimate() const {
+  if (estimates_.empty()) return 0;
+  sim::Duration sum = 0;
+  for (const auto e : estimates_) sum += e;
+  return sum / static_cast<sim::Duration>(estimates_.size());
+}
+
+}  // namespace kwikr::core

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/probe_transport.h"
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/time.h"
+#include "wifi/edca.h"
+
+namespace kwikr::core {
+
+/// Channel-access-delay estimator (paper Sections 5.4 and 8.2).
+///
+/// Sends pairs of same-priority pings back to back. When the two replies
+/// leave the AP consecutively — verified by consecutive 802.11 sequence
+/// numbers and clear retry bits — the reply arrival gap minus the second
+/// reply's transmission time is the AP's channel access delay for that
+/// priority: AIFS + backoff + any interleaved co-channel transmissions.
+class ChannelAccessEstimator {
+ public:
+  struct Config {
+    sim::Duration interval = sim::Millis(50);
+    std::int32_t ping_size_bytes = 64;
+    std::uint8_t tos = net::kTosBestEffort;  ///< probe priority.
+    sim::Duration timeout = sim::Millis(200);
+    std::uint16_t ident = 0xCA0D;
+    /// Require consecutive 802.11 sequence numbers on the replies.
+    bool require_consecutive_sequence = true;
+    /// Discard measurements where either reply was retransmitted.
+    bool require_no_retry = true;
+  };
+
+  ChannelAccessEstimator(sim::EventLoop& loop, ProbeTransport& transport,
+                         Config config, wifi::PhyParams phy);
+
+  ChannelAccessEstimator(const ChannelAccessEstimator&) = delete;
+  ChannelAccessEstimator& operator=(const ChannelAccessEstimator&) = delete;
+
+  void Start();
+  void Stop();
+  void ProbeOnce();
+
+  void OnReply(const net::Packet& packet, sim::Time arrival);
+
+  /// Accepted channel-access-delay estimates (simulation ticks).
+  [[nodiscard]] const std::vector<sim::Duration>& estimates() const {
+    return estimates_;
+  }
+  /// Mean estimate (ticks); 0 when no estimate was accepted yet.
+  [[nodiscard]] sim::Duration MeanEstimate() const;
+  [[nodiscard]] std::uint64_t probes_sent() const { return next_probe_; }
+  [[nodiscard]] std::uint64_t rejected_sequence() const {
+    return rejected_sequence_;
+  }
+  [[nodiscard]] std::uint64_t rejected_retry() const {
+    return rejected_retry_;
+  }
+
+ private:
+  struct Probe {
+    sim::Time arrival[2] = {0, 0};
+    bool received[2] = {false, false};
+    std::uint16_t mac_sequence[2] = {0, 0};
+    bool retry[2] = {false, false};
+    std::int64_t rate_bps[2] = {0, 0};
+  };
+
+  void StartProbe();
+  void Complete(std::uint64_t probe_id, const Probe& probe);
+
+  sim::EventLoop& loop_;
+  ProbeTransport& transport_;
+  Config config_;
+  wifi::PhyParams phy_;
+  sim::PeriodicTimer timer_;
+
+  std::uint64_t next_probe_ = 0;
+  std::unordered_map<std::uint64_t, Probe> probes_;
+  std::vector<sim::Duration> estimates_;
+  std::uint64_t rejected_sequence_ = 0;
+  std::uint64_t rejected_retry_ = 0;
+};
+
+}  // namespace kwikr::core

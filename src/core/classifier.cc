@@ -1,0 +1,14 @@
+#include "core/classifier.h"
+
+namespace kwikr::core {
+
+CongestionClassifier CongestionClassifier::Train(
+    const std::vector<stats::LabelledSample>& data, std::size_t folds,
+    double* cv_accuracy) {
+  const stats::CrossValidationResult cv = stats::CrossValidateStump(data,
+                                                                    folds);
+  if (cv_accuracy != nullptr) *cv_accuracy = cv.mean_accuracy;
+  return CongestionClassifier(cv.final_stump.threshold());
+}
+
+}  // namespace kwikr::core

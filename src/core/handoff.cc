@@ -1,0 +1,17 @@
+#include "core/handoff.h"
+
+namespace kwikr::core {
+
+void HandoffDetector::OnGatewayChange(net::Address new_gateway) {
+  if (new_gateway == gateway_) return;
+  HandoffHint hint;
+  hint.at = now_ ? now_() : 0;
+  hint.old_gateway = gateway_;
+  hint.new_gateway = new_gateway;
+  gateway_ = new_gateway;
+  ++handoffs_;
+  for (const auto& reset : reset_hooks_) reset();
+  for (const auto& cb : hint_callbacks_) cb(hint);
+}
+
+}  // namespace kwikr::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace kwikr::core {
+
+/// A handoff hint — the third hint family of the paper's Figure 2
+/// architecture. Emitted when the client's default gateway (its associated
+/// AP) changes.
+struct HandoffHint {
+  sim::Time at = 0;
+  net::Address old_gateway = 0;
+  net::Address new_gateway = 0;
+};
+
+/// Tracks the client's gateway and turns changes into handoff hints.
+///
+/// Beyond informing applications, a handoff invalidates every piece of
+/// path-learned state: the one-way-delay minimum (clock-offset baseline),
+/// the Ping-Pair EWMA, and the congestion verdict all describe the *old*
+/// AP. Consumers register reset callbacks here; the simulator wires
+/// `wifi::Station::AddRoamCallback` into OnGatewayChange.
+class HandoffDetector {
+ public:
+  using HintCallback = std::function<void(const HandoffHint&)>;
+  /// Invoked on every handoff, before the hint callbacks: reset
+  /// path-learned state (estimator minima, probe EWMAs, ...).
+  using ResetHook = std::function<void()>;
+
+  /// @param now returns the current time (bound to the event loop).
+  explicit HandoffDetector(std::function<sim::Time()> now)
+      : now_(std::move(now)) {}
+
+  /// Seeds the initial gateway without emitting a hint.
+  void SetInitialGateway(net::Address gateway) { gateway_ = gateway; }
+
+  /// Reports the currently observed gateway; a change emits a hint.
+  void OnGatewayChange(net::Address new_gateway);
+
+  void AddHintCallback(HintCallback callback) {
+    hint_callbacks_.push_back(std::move(callback));
+  }
+  void AddResetHook(ResetHook hook) {
+    reset_hooks_.push_back(std::move(hook));
+  }
+
+  [[nodiscard]] net::Address gateway() const { return gateway_; }
+  [[nodiscard]] std::int64_t handoffs() const { return handoffs_; }
+
+ private:
+  std::function<sim::Time()> now_;
+  net::Address gateway_ = 0;
+  std::int64_t handoffs_ = 0;
+  std::vector<HintCallback> hint_callbacks_;
+  std::vector<ResetHook> reset_hooks_;
+};
+
+}  // namespace kwikr::core

@@ -1,0 +1,61 @@
+#include "core/kwikr.h"
+
+#include <utility>
+
+namespace kwikr::core {
+
+KwikrAdapter::KwikrAdapter(sim::EventLoop& loop, Config config)
+    : loop_(loop),
+      config_(config),
+      tq_ewma_(config.ewma_alpha),
+      tc_ewma_(config.ewma_alpha) {}
+
+KwikrAdapter::KwikrAdapter(sim::EventLoop& loop)
+    : KwikrAdapter(loop, Config{}) {}
+
+void KwikrAdapter::AttachTo(PingPairProber& prober) {
+  prober.AddSampleCallback(
+      [this](const PingPairSample& sample) { OnSample(sample); });
+}
+
+void KwikrAdapter::OnSample(const PingPairSample& sample) {
+  ++samples_seen_;
+  last_sample_at_ = sample.completed_at;
+  tq_ewma_.Update(sim::ToMillis(sample.tq));
+  tc_ewma_.Update(sim::ToMillis(sample.tc));
+  congested_ = config_.classifier.Classify(sample);
+
+  WifiHint hint;
+  hint.at = sample.completed_at;
+  hint.congested = congested_;
+  hint.tq = sample.tq;
+  hint.ta = sample.ta;
+  hint.tc = sample.tc;
+  hint.smoothed_tq_ms = tq_ewma_.value();
+  hint.smoothed_tc_ms = tc_ewma_.value();
+  for (const auto& cb : callbacks_) cb(hint);
+}
+
+void KwikrAdapter::AddHintCallback(HintCallback callback) {
+  callbacks_.push_back(std::move(callback));
+}
+
+double KwikrAdapter::SmoothedTcSeconds() const {
+  if (loop_.now() - last_sample_at_ > config_.stale_after) return 0.0;
+  return tc_ewma_.value() / 1000.0;
+}
+
+double KwikrAdapter::SmoothedTqMillis() const { return tq_ewma_.value(); }
+
+std::function<double()> KwikrAdapter::CrossTrafficProvider() {
+  return [this] { return SmoothedTcSeconds(); };
+}
+
+void KwikrAdapter::Reset() {
+  tq_ewma_.Reset();
+  tc_ewma_.Reset();
+  congested_ = false;
+  last_sample_at_ = -(1LL << 60);
+}
+
+}  // namespace kwikr::core

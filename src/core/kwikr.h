@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/ping_pair.h"
+#include "sim/event_loop.h"
+#include "sim/time.h"
+#include "stats/ewma.h"
+
+namespace kwikr::core {
+
+/// An actionable Wi-Fi hint, as produced by the Kwikr detectors for
+/// applications (paper Figure 2). Only congestion hints are generated here;
+/// the struct leaves room for the other hint families the paper mentions
+/// (link quality fluctuation, handoffs).
+struct WifiHint {
+  enum class Type { kCongestion };
+  Type type = Type::kCongestion;
+  sim::Time at = 0;
+  bool congested = false;       ///< classifier verdict on this sample.
+  sim::Duration tq = 0;         ///< downlink delay estimate.
+  sim::Duration ta = 0;         ///< self-induced share.
+  sim::Duration tc = 0;         ///< cross-traffic share.
+  double smoothed_tq_ms = 0.0;  ///< EWMA of Tq.
+  double smoothed_tc_ms = 0.0;  ///< EWMA of Tc.
+};
+
+/// Bridges Ping-Pair measurements to the bandwidth estimator and to hint
+/// consumers: smooths Tq/Tc with an EWMA (the "smoothened" series of
+/// Figure 4), classifies congestion, and exposes the cross-traffic delay
+/// provider that drives the Equation-3 noise modulation.
+class KwikrAdapter {
+ public:
+  struct Config {
+    double ewma_alpha = 0.25;
+    /// Tc is reported as 0 when no fresh sample arrived within this window
+    /// (probing stopped or all measurements filtered out).
+    sim::Duration stale_after = sim::Seconds(3);
+    CongestionClassifier classifier;
+  };
+
+  using HintCallback = std::function<void(const WifiHint&)>;
+
+  KwikrAdapter(sim::EventLoop& loop, Config config);
+  explicit KwikrAdapter(sim::EventLoop& loop);
+
+  /// Subscribes this adapter to a prober's samples.
+  void AttachTo(PingPairProber& prober);
+
+  /// Processes one Ping-Pair sample (called by the prober subscription).
+  void OnSample(const PingPairSample& sample);
+
+  /// Registers a hint consumer.
+  void AddHintCallback(HintCallback callback);
+
+  /// Smoothed cross-traffic delay in seconds; the provider handed to
+  /// rtc::BandwidthEstimator::SetCrossTrafficProvider.
+  [[nodiscard]] double SmoothedTcSeconds() const;
+  [[nodiscard]] double SmoothedTqMillis() const;
+  [[nodiscard]] bool CurrentlyCongested() const { return congested_; }
+  [[nodiscard]] std::uint64_t samples_seen() const { return samples_seen_; }
+
+  /// Convenience: a callable bound to SmoothedTcSeconds().
+  [[nodiscard]] std::function<double()> CrossTrafficProvider();
+
+  /// Forgets the smoothed measurements (path change / handoff: the EWMAs
+  /// describe the old AP's queue).
+  void Reset();
+
+ private:
+  sim::EventLoop& loop_;
+  Config config_;
+  stats::Ewma tq_ewma_;
+  stats::Ewma tc_ewma_;
+  bool congested_ = false;
+  sim::Time last_sample_at_ = -(1LL << 60);
+  std::uint64_t samples_seen_ = 0;
+  std::vector<HintCallback> callbacks_;
+};
+
+}  // namespace kwikr::core

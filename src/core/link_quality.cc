@@ -1,0 +1,48 @@
+#include "core/link_quality.h"
+
+#include <utility>
+
+namespace kwikr::core {
+
+LinkQualityDetector::LinkQualityDetector(Config config)
+    : config_(config),
+      rate_(config.ewma_alpha),
+      retries_(config.ewma_alpha) {}
+
+void LinkQualityDetector::AddHintCallback(HintCallback callback) {
+  callbacks_.push_back(std::move(callback));
+}
+
+void LinkQualityDetector::OnPacket(const net::Packet& packet,
+                                   sim::Time arrival) {
+  if (packet.mac.data_rate_bps <= 0) return;  // no MAC metadata.
+  ++samples_;
+  rate_.Update(static_cast<double>(packet.mac.data_rate_bps));
+  retries_.Update(packet.mac.retry ? 1.0 : 0.0);
+  if (samples_ < config_.min_samples) return;
+
+  bool now_degraded;
+  if (!degraded_) {
+    now_degraded = retries_.value() > config_.retry_threshold ||
+                   rate_.value() < static_cast<double>(config_.low_rate_bps);
+  } else {
+    // Recovery needs clear margin below/above the thresholds.
+    const double retry_exit =
+        config_.retry_threshold * (1.0 - config_.hysteresis);
+    const double rate_exit =
+        static_cast<double>(config_.low_rate_bps) * (1.0 + config_.hysteresis);
+    now_degraded =
+        !(retries_.value() < retry_exit && rate_.value() > rate_exit);
+  }
+  if (now_degraded != degraded_) {
+    degraded_ = now_degraded;
+    LinkQualityHint hint;
+    hint.at = arrival;
+    hint.avg_rate_bps = rate_.value();
+    hint.retry_fraction = retries_.value();
+    hint.degraded = degraded_;
+    for (const auto& cb : callbacks_) cb(hint);
+  }
+}
+
+}  // namespace kwikr::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+#include "stats/ewma.h"
+
+namespace kwikr::core {
+
+/// A link-quality hint, the second hint family of the paper's Kwikr
+/// architecture (Figure 2: "the Wi-Fi-specific hints also pertain to link
+/// quality fluctuation, handoffs, etc.").
+struct LinkQualityHint {
+  sim::Time at = 0;
+  double avg_rate_bps = 0.0;     ///< smoothed MAC data rate of received frames.
+  double retry_fraction = 0.0;   ///< smoothed fraction of retransmitted frames.
+  bool degraded = false;         ///< verdict at this sample.
+};
+
+/// Watches the MAC metadata of received frames (data rate and retry flag —
+/// the radiotap fields the paper's Linux tool reads) and flags link-quality
+/// degradation: a falling MCS rate or a rising retransmission fraction, the
+/// symptoms of the Figure 4 "walking away from the AP" episode.
+///
+/// Unlike the congestion detector this needs no probing at all — any
+/// received traffic feeds it.
+class LinkQualityDetector {
+ public:
+  struct Config {
+    double ewma_alpha = 0.1;
+    /// Degraded when the smoothed retry fraction exceeds this...
+    double retry_threshold = 0.25;
+    /// ...or the smoothed rate falls below this.
+    std::int64_t low_rate_bps = 13'000'000;
+    /// Samples needed before verdicts are issued.
+    int min_samples = 20;
+    /// Hysteresis: recovery requires the signals to clear the thresholds by
+    /// this relative margin, preventing hint flapping at the boundary.
+    double hysteresis = 0.4;
+  };
+
+  using HintCallback = std::function<void(const LinkQualityHint&)>;
+
+  LinkQualityDetector() : LinkQualityDetector(Config{}) {}
+  explicit LinkQualityDetector(Config config);
+
+  /// Feeds one received packet (MAC metadata must be populated).
+  void OnPacket(const net::Packet& packet, sim::Time arrival);
+
+  /// Registers a consumer; called whenever the degraded verdict *changes*.
+  void AddHintCallback(HintCallback callback);
+
+  [[nodiscard]] double smoothed_rate_bps() const { return rate_.value(); }
+  [[nodiscard]] double smoothed_retry_fraction() const {
+    return retries_.value();
+  }
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] std::int64_t samples() const { return samples_; }
+
+ private:
+  Config config_;
+  stats::Ewma rate_;
+  stats::Ewma retries_;
+  bool degraded_ = false;
+  std::int64_t samples_ = 0;
+  std::vector<HintCallback> callbacks_;
+};
+
+}  // namespace kwikr::core

@@ -1,0 +1,222 @@
+#include "core/ping_pair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace kwikr::core {
+namespace {
+
+// Sequence numbers encode (round, pair, priority):
+//   seq = round * 4 + pair * 2 + (high ? 1 : 0)   (mod 2^16)
+std::uint16_t MakeSequence(std::uint64_t round, int pair, bool high) {
+  return static_cast<std::uint16_t>((round * 4 + pair * 2 + (high ? 1 : 0)) &
+                                    0xFFFF);
+}
+
+constexpr sim::Duration kFlowLogWindow = sim::Seconds(3);
+
+}  // namespace
+
+PingPairProber::PingPairProber(sim::EventLoop& loop, ProbeTransport& transport,
+                               Config config, net::FlowId flow_of_interest)
+    : loop_(loop),
+      transport_(transport),
+      config_(config),
+      flow_(flow_of_interest),
+      timer_(loop, config.interval, [this] { StartRound(); }) {}
+
+void PingPairProber::Start() { timer_.Start(sim::Duration{0}); }
+
+void PingPairProber::Stop() { timer_.Stop(); }
+
+void PingPairProber::ProbeOnce() { StartRound(); }
+
+void PingPairProber::AddSampleCallback(SampleCallback callback) {
+  callbacks_.push_back(std::move(callback));
+}
+
+void PingPairProber::SetChannelAccessProvider(ChannelAccessProvider provider) {
+  channel_access_ = std::move(provider);
+}
+
+void PingPairProber::StartRound() {
+  const std::uint64_t id = next_round_++;
+  Round& round = rounds_[id];
+  round.id = id;
+  round.dual = config_.dual;
+  ++stats_.rounds;
+
+  SendPair(round, 0);
+  if (config_.dual) SendPair(round, 1);
+
+  round.timeout_event = loop_.ScheduleIn(config_.timeout, [this, id] {
+    auto it = rounds_.find(id);
+    if (it == rounds_.end()) return;
+    ++stats_.timeouts;
+    rounds_.erase(it);
+  });
+}
+
+void PingPairProber::SendPair(Round& round, int pair) {
+  // Normal-priority ping goes first so that both replies are enqueued at the
+  // AP's downlink concurrently (Section 5.2).
+  const sim::Time now = loop_.now();
+  round.ping[pair][0].sent_at = now;
+  transport_.SendEcho(net::kTosBestEffort, config_.ident,
+                      MakeSequence(round.id, pair, false),
+                      config_.ping_size_bytes);
+  round.ping[pair][1].sent_at = now;
+  transport_.SendEcho(net::kTosVoice, config_.ident,
+                      MakeSequence(round.id, pair, true),
+                      config_.ping_size_bytes);
+}
+
+void PingPairProber::OnReply(const net::Packet& packet, sim::Time arrival) {
+  if (packet.protocol != net::Protocol::kIcmp ||
+      packet.icmp.type != net::IcmpType::kEchoReply ||
+      packet.icmp.ident != config_.ident) {
+    return;
+  }
+  const std::uint16_t seq = packet.icmp.sequence;
+  const std::uint64_t round_id = seq / 4;
+  const int pair = (seq >> 1) & 1;
+  const int prio = seq & 1;
+
+  // Find the round; sequence numbers wrap every 16384 rounds, so also try
+  // matching higher multiples (only the live round can be pending).
+  auto it = rounds_.find(round_id);
+  for (std::uint64_t base = round_id + 0x4000; it == rounds_.end() &&
+                                               base < next_round_;
+       base += 0x4000) {
+    it = rounds_.find(base);
+  }
+  if (it == rounds_.end()) return;
+
+  PingState& state = it->second.ping[pair][prio];
+  if (state.received) return;  // duplicate.
+  state.received = true;
+  state.arrival = arrival;
+  state.transmissions = packet.mac.transmissions;
+  MaybeComplete(it->first);
+}
+
+void PingPairProber::OnFlowPacket(const net::Packet& packet,
+                                  sim::Time arrival) {
+  if (packet.flow != flow_) return;
+  flow_log_.push_back(FlowObservation{arrival, packet.size_bytes,
+                                      packet.mac.data_rate_bps});
+  TrimFlowLog();
+}
+
+void PingPairProber::TrimFlowLog() {
+  const sim::Time horizon = loop_.now() - kFlowLogWindow;
+  while (!flow_log_.empty() && flow_log_.front().arrival < horizon) {
+    flow_log_.pop_front();
+  }
+}
+
+std::optional<sim::Duration> PingPairProber::PairEstimate(const Round& round,
+                                                          int pair) const {
+  const PingState& normal = round.ping[pair][0];
+  const PingState& high = round.ping[pair][1];
+  if (!normal.received || !high.received) return std::nullopt;
+  // Valid only when the high-priority reply arrived first (Section 5.2).
+  if (high.arrival >= normal.arrival) return std::nullopt;
+  if (config_.mode == MeasurementMode::kArrivalTimes) {
+    return normal.arrival - high.arrival;
+  }
+  // Ping-time (RTT difference) mode.
+  return (normal.arrival - normal.sent_at) - (high.arrival - high.sent_at);
+}
+
+void PingPairProber::MaybeComplete(std::uint64_t round_id) {
+  auto it = rounds_.find(round_id);
+  if (it == rounds_.end()) return;
+  Round& round = it->second;
+  const int pairs = round.dual ? 2 : 1;
+  for (int p = 0; p < pairs; ++p) {
+    for (int q = 0; q < 2; ++q) {
+      if (!round.ping[p][q].received) return;  // still waiting.
+    }
+  }
+
+  // All replies in: resolve the round now.
+  loop_.Cancel(round.timeout_event);
+
+  const auto est0 = PairEstimate(round, 0);
+  if (!round.dual) {
+    if (!est0) {
+      ++stats_.wrong_order;
+    } else {
+      EmitSample(round, *est0, round.ping[0][1].arrival,
+                 round.ping[0][0].arrival);
+    }
+    rounds_.erase(it);
+    return;
+  }
+
+  const auto est1 = PairEstimate(round, 1);
+  if (!est0 || !est1) {
+    ++stats_.wrong_order;
+    rounds_.erase(it);
+    return;
+  }
+  // Retransmission screens (Section 5.6): the two high-priority replies and
+  // the two normal-priority replies must arrive close together...
+  const sim::Duration high_gap =
+      std::abs(round.ping[1][1].arrival - round.ping[0][1].arrival);
+  const sim::Duration normal_gap =
+      std::abs(round.ping[1][0].arrival - round.ping[0][0].arrival);
+  if (high_gap > config_.dual_gap_threshold ||
+      normal_gap > config_.dual_gap_threshold) {
+    ++stats_.dual_gap;
+    rounds_.erase(it);
+    return;
+  }
+  // ...and the two pair estimates must agree within the threshold.
+  if (std::abs(*est0 - *est1) > config_.dual_divergence_threshold) {
+    ++stats_.dual_divergence;
+    rounds_.erase(it);
+    return;
+  }
+
+  const sim::Duration tq = (*est0 + *est1) / 2;
+  EmitSample(round, tq, round.ping[0][1].arrival, round.ping[0][0].arrival);
+  rounds_.erase(it);
+}
+
+void PingPairProber::EmitSample(const Round& round, sim::Duration tq,
+                                sim::Time window_begin, sim::Time window_end) {
+  PingPairSample sample;
+  sample.completed_at = loop_.now();
+  sample.tq = tq;
+
+  std::vector<SandwichedPacket> sandwiched;
+  for (const auto& obs : flow_log_) {
+    if (obs.arrival > window_begin && obs.arrival < window_end) {
+      sandwiched.push_back(SandwichedPacket{obs.size_bytes, obs.mac_rate_bps});
+    }
+  }
+  sample.sandwiched = static_cast<int>(sandwiched.size());
+  const sim::Duration access = channel_access_
+                                   ? channel_access_()
+                                   : config_.attribution.fixed_channel_access;
+  sample.ta = SelfDelay(sandwiched, config_.attribution, access);
+  sample.tc = CrossDelay(sample.tq, sample.ta);
+
+  int max_tx = 1;
+  const int pairs = round.dual ? 2 : 1;
+  for (int p = 0; p < pairs; ++p) {
+    for (int q = 0; q < 2; ++q) {
+      max_tx = std::max(max_tx, round.ping[p][q].transmissions);
+    }
+  }
+  sample.max_reply_transmissions = max_tx;
+
+  ++stats_.valid;
+  if (samples_.size() < config_.max_samples) samples_.push_back(sample);
+  for (const auto& cb : callbacks_) cb(sample);
+}
+
+}  // namespace kwikr::core

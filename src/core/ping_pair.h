@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/attribution.h"
+#include "core/probe_transport.h"
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace kwikr::core {
+
+/// How the Wi-Fi downlink delay is extracted from a pair (paper Section 7.3).
+enum class MeasurementMode {
+  /// Difference of reply *arrival times* — the raw-socket implementation.
+  kArrivalTimes,
+  /// Difference of the two *ping times* (RTTs) — the Android ping-utility
+  /// implementation, which cannot observe arrival times directly.
+  kPingTimes,
+};
+
+/// One completed Ping-Pair measurement.
+struct PingPairSample {
+  sim::Time completed_at = 0;
+  sim::Duration tq = 0;       ///< Wi-Fi downlink delay estimate.
+  int sandwiched = 0;         ///< n_a: flow-of-interest packets in between.
+  sim::Duration ta = 0;       ///< self-induced delay estimate.
+  sim::Duration tc = 0;       ///< cross-traffic delay, max(0, tq - ta).
+  /// Worst link-layer transmission count seen on any reply in the round
+  /// (1 = no retries). Diagnostic for the Figure 4 experiment.
+  int max_reply_transmissions = 1;
+};
+
+/// Why a probe round produced no sample.
+struct PingPairStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t valid = 0;
+  std::uint64_t timeouts = 0;          ///< a reply never arrived.
+  std::uint64_t wrong_order = 0;       ///< normal reply beat the high reply.
+  std::uint64_t dual_divergence = 0;   ///< dual pairs disagreed > threshold.
+  std::uint64_t dual_gap = 0;          ///< same-priority replies far apart.
+};
+
+/// The Ping-Pair prober (paper Sections 5.2-5.3, 5.6).
+///
+/// Every `interval` it sends a normal-priority (TOS 0x00) ping immediately
+/// followed by a high-priority (TOS 0xb8) ping to the AP. The high-priority
+/// *reply* jumps the AP's downlink queue, so the reply spacing measures the
+/// downlink delay Tq. Packets of the flow of interest arriving in between
+/// give the self-congestion share: Ta = n_a (s_a/R + t), Tc = Tq - Ta.
+///
+/// With `dual = true` two pairs are sent back to back and a measurement is
+/// kept only when both pairs agree within `dual_divergence_threshold` and
+/// same-priority replies arrive close together — the dual-Ping-Pair
+/// retransmission filter of Section 5.6.
+class PingPairProber {
+ public:
+  struct Config {
+    sim::Duration interval = sim::Millis(500);  ///< 2 probes/s, as deployed.
+    std::int32_t ping_size_bytes = 64;
+    sim::Duration timeout = sim::Millis(500);
+    MeasurementMode mode = MeasurementMode::kArrivalTimes;
+    bool dual = false;
+    sim::Duration dual_divergence_threshold = sim::Millis(5);
+    sim::Duration dual_gap_threshold = sim::Millis(5);
+    std::uint16_t ident = 0x5050;  ///< ICMP identifier of this prober.
+    AttributionConfig attribution;
+    /// Keep at most this many samples in memory (older ones are forgotten).
+    std::size_t max_samples = 1 << 20;
+  };
+
+  using SampleCallback = std::function<void(const PingPairSample&)>;
+  /// Optional measured channel-access delay source (Linux-style attribution;
+  /// when absent the fixed value from AttributionConfig is used).
+  using ChannelAccessProvider = std::function<sim::Duration()>;
+
+  PingPairProber(sim::EventLoop& loop, ProbeTransport& transport,
+                 Config config, net::FlowId flow_of_interest);
+
+  PingPairProber(const PingPairProber&) = delete;
+  PingPairProber& operator=(const PingPairProber&) = delete;
+
+  /// Starts periodic probing.
+  void Start();
+  void Stop();
+  /// Fires a single probe round immediately (also usable while stopped).
+  void ProbeOnce();
+
+  /// Feed every ICMP packet the client receives.
+  void OnReply(const net::Packet& packet, sim::Time arrival);
+  /// Feed every flow-of-interest packet the client receives.
+  void OnFlowPacket(const net::Packet& packet, sim::Time arrival);
+
+  void AddSampleCallback(SampleCallback callback);
+  void SetChannelAccessProvider(ChannelAccessProvider provider);
+
+  [[nodiscard]] const std::vector<PingPairSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] const PingPairStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct PingState {
+    sim::Time sent_at = 0;
+    bool received = false;
+    sim::Time arrival = 0;
+    int transmissions = 1;
+  };
+  struct Round {
+    std::uint64_t id = 0;
+    bool dual = false;
+    // Pings indexed [pair][0=normal, 1=high].
+    PingState ping[2][2];
+    sim::EventId timeout_event = 0;
+  };
+  struct FlowObservation {
+    sim::Time arrival = 0;
+    std::int32_t size_bytes = 0;
+    std::int64_t mac_rate_bps = 0;
+  };
+
+  void StartRound();
+  void SendPair(Round& round, int pair);
+  void MaybeComplete(std::uint64_t round_id);
+  std::optional<sim::Duration> PairEstimate(const Round& round,
+                                            int pair) const;
+  void EmitSample(const Round& round, sim::Duration tq,
+                  sim::Time window_begin, sim::Time window_end);
+  void TrimFlowLog();
+
+  sim::EventLoop& loop_;
+  ProbeTransport& transport_;
+  Config config_;
+  net::FlowId flow_;
+  sim::PeriodicTimer timer_;
+  ChannelAccessProvider channel_access_;
+
+  std::uint64_t next_round_ = 0;
+  std::unordered_map<std::uint64_t, Round> rounds_;
+  std::deque<FlowObservation> flow_log_;
+  std::vector<PingPairSample> samples_;
+  std::vector<SampleCallback> callbacks_;
+  PingPairStats stats_;
+};
+
+}  // namespace kwikr::core

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kwikr::core {
+
+/// How a probing component sends ICMP echo requests toward the default
+/// gateway (the Wi-Fi AP). The simulator binds this to a wifi::Station; the
+/// live tool binds it to a raw socket. Replies flow back through the owner,
+/// which forwards them to the probing component's OnReply.
+class ProbeTransport {
+ public:
+  virtual ~ProbeTransport() = default;
+
+  /// Sends one ICMP Echo Request with the given TOS byte, identifier,
+  /// sequence number and total IP datagram size.
+  virtual void SendEcho(std::uint8_t tos, std::uint16_t ident,
+                        std::uint16_t sequence, std::int32_t size_bytes) = 0;
+};
+
+}  // namespace kwikr::core

@@ -1,0 +1,129 @@
+#include "core/wmm_detector.h"
+
+#include <utility>
+
+namespace kwikr::core {
+namespace {
+
+// Per-run sequence layout: [0, large_ping_count) are the burst pings,
+// large_ping_count is the small normal ping, large_ping_count + 1 the small
+// high-priority ping. Runs are offset by (large_ping_count + 2).
+constexpr int kSlotsPerRunExtra = 2;
+
+}  // namespace
+
+WmmDetector::WmmDetector(sim::EventLoop& loop, ProbeTransport& transport,
+                         Config config)
+    : loop_(loop), transport_(transport), config_(config) {}
+
+void WmmDetector::Run(DoneCallback done) {
+  done_ = std::move(done);
+  running_ = true;
+  run_index_ = 0;
+  prioritized_ = 0;
+  completed_ = 0;
+  result_.reset();
+  StartRun();
+}
+
+void WmmDetector::StartRun() {
+  pair_sent_ = false;
+  normal_received_ = false;
+  high_received_ = false;
+  const int slots = config_.large_ping_count + kSlotsPerRunExtra;
+  const auto seq_base = static_cast<std::uint16_t>(run_index_ * slots);
+  // Optional burst: large best-effort pings deepening the BE downlink
+  // backlog. Off by default — on an otherwise idle uplink the burst's own
+  // requests queue ahead of the normal-priority probe at the client and
+  // fake the gap (see header comment); ambient traffic is the reliable
+  // queue source.
+  for (int i = 0; i < config_.large_ping_count; ++i) {
+    transport_.SendEcho(net::kTosBestEffort, config_.ident,
+                        static_cast<std::uint16_t>(seq_base + i),
+                        config_.large_ping_bytes);
+  }
+  if (config_.large_ping_count == 0) SendPair();
+  timeout_event_ = loop_.ScheduleIn(config_.run_timeout, [this] {
+    timeout_event_ = 0;
+    FinishRun();
+  });
+}
+
+void WmmDetector::SendPair() {
+  pair_sent_ = true;
+  pair_sent_at_ = loop_.now();
+  const int slots = config_.large_ping_count + kSlotsPerRunExtra;
+  const auto seq_base = static_cast<std::uint16_t>(run_index_ * slots);
+  transport_.SendEcho(
+      net::kTosBestEffort, config_.ident,
+      static_cast<std::uint16_t>(seq_base + config_.large_ping_count),
+      config_.small_ping_bytes);
+  transport_.SendEcho(
+      net::kTosVoice, config_.ident,
+      static_cast<std::uint16_t>(seq_base + config_.large_ping_count + 1),
+      config_.small_ping_bytes);
+}
+
+void WmmDetector::OnReply(const net::Packet& packet, sim::Time arrival) {
+  if (!running_ || packet.protocol != net::Protocol::kIcmp ||
+      packet.icmp.type != net::IcmpType::kEchoReply ||
+      packet.icmp.ident != config_.ident) {
+    return;
+  }
+  const int slots = config_.large_ping_count + kSlotsPerRunExtra;
+  const int run = packet.icmp.sequence / slots;
+  const int position = packet.icmp.sequence % slots;
+  if (run != run_index_) return;  // stale reply from a timed-out run.
+
+  if (position < config_.large_ping_count) {
+    // A burst reply: the backlog is standing; launch the probe pair once.
+    if (!pair_sent_) SendPair();
+    return;
+  }
+  if (position == config_.large_ping_count) {
+    if (!normal_received_) {
+      normal_received_ = true;
+      normal_arrival_ = arrival;
+    }
+  } else {
+    if (!high_received_) {
+      high_received_ = true;
+      high_arrival_ = arrival;
+    }
+  }
+  if (normal_received_ && high_received_) {
+    if (timeout_event_ != 0) {
+      loop_.Cancel(timeout_event_);
+      timeout_event_ = 0;
+    }
+    FinishRun();
+  }
+}
+
+void WmmDetector::FinishRun() {
+  if (normal_received_ && high_received_) {
+    ++completed_;
+    const sim::Duration gap = normal_arrival_ - high_arrival_;
+    const sim::Duration high_rtt = high_arrival_ - pair_sent_at_;
+    if (gap >= config_.prioritization_gap &&
+        static_cast<double>(gap) >=
+            config_.prioritization_ratio * static_cast<double>(high_rtt)) {
+      ++prioritized_;
+    }
+  }
+  ++run_index_;
+  if (run_index_ < config_.runs) {
+    loop_.ScheduleIn(config_.run_interval, [this] { StartRun(); });
+    return;
+  }
+  running_ = false;
+  WmmResult result;
+  result.prioritized_runs = prioritized_;
+  result.completed_runs = completed_;
+  result.total_runs = config_.runs;
+  result.wmm_enabled = prioritized_ >= config_.needed;
+  result_ = result;
+  if (done_) done_(result);
+}
+
+}  // namespace kwikr::core

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/probe_transport.h"
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace kwikr::core {
+
+/// Outcome of the WMM-prioritization check (paper Section 5.5).
+struct WmmResult {
+  bool wmm_enabled = false;
+  int prioritized_runs = 0;  ///< runs showing the queue-jump signature.
+  int completed_runs = 0;    ///< runs where both probe replies arrived.
+  int total_runs = 0;
+};
+
+/// Detects whether the AP honours WMM prioritization.
+///
+/// The paper's probe is a triplet: a large high-priority ping followed by a
+/// small normal- and a small intermediate-priority ping, judged by response
+/// reordering. Under a faithful EDCA model that construction is fragile: the
+/// large high-priority transmission blocks the client's *own* best-effort
+/// uplink access, so the two small requests themselves race and a FIFO AP
+/// produces false reversals (see DESIGN.md). This implementation keeps the
+/// paper's mechanism — force the small replies to coexist in the AP's
+/// downlink queue behind large replies, and observe whether priority lets
+/// one jump ahead — but realizes it robustly:
+///
+///   1. A burst of `large_ping_count` large *best-effort* pings builds a
+///      standing best-effort downlink backlog (the burst's uplink stays
+///      FIFO because all requests share the client's BE queue).
+///   2. As soon as the first large reply returns (backlog confirmed), a
+///      standard ping-pair is sent (small normal + small high priority).
+///   3. With WMM the high-priority reply jumps the backlog and precedes the
+///      normal reply by at least `prioritization_gap`; a FIFO AP returns
+///      both from the queue tail, back to back.
+///
+/// WMM is declared when at least `needed` of `runs` show the gap.
+///
+/// Like the paper's detector, this needs a standing downlink queue to
+/// observe the jump. Ambient downlink traffic (the normal case in the
+/// paper's office/home/coffee-shop networks) provides it; the burst deepens
+/// it. On a completely idle AP no queue exists, the gap never appears, and
+/// the detector conservatively reports "no WMM" — the safe fallback in
+/// which Kwikr under-estimates cross-traffic delay (paper Section 7.3).
+class WmmDetector {
+ public:
+  struct Config {
+    int runs = 5;
+    int needed = 3;
+    /// Optional self-generated backlog burst before the probe pair. 0 (the
+    /// default) sends the pair immediately and relies on ambient downlink
+    /// traffic for the standing queue; a non-zero burst only helps when the
+    /// client uplink is otherwise busy (see implementation note).
+    int large_ping_count = 0;
+    std::int32_t large_ping_bytes = 1400;
+    std::int32_t small_ping_bytes = 64;
+    /// Prioritization criterion, rate-independent: the (normal - high)
+    /// reply gap must be at least `prioritization_ratio` times the
+    /// high-priority ping's own RTT. On a WMM AP the high reply jumps the
+    /// queue (tiny RTT, large gap); on a FIFO AP the high reply waits out
+    /// the same queue (large RTT, small gap), so the ratio collapses.
+    double prioritization_ratio = 1.0;
+    /// Absolute floor on the gap, rejecting microsecond-scale noise.
+    sim::Duration prioritization_gap = sim::Micros(500);
+    sim::Duration run_interval = sim::Millis(200);
+    sim::Duration run_timeout = sim::Millis(150);
+    std::uint16_t ident = 0x574D;  ///< "WM"
+  };
+
+  using DoneCallback = std::function<void(const WmmResult&)>;
+
+  WmmDetector(sim::EventLoop& loop, ProbeTransport& transport, Config config);
+
+  WmmDetector(const WmmDetector&) = delete;
+  WmmDetector& operator=(const WmmDetector&) = delete;
+
+  /// Runs the full check; `done` fires after the last run.
+  void Run(DoneCallback done);
+
+  /// Feed ICMP replies from the client's receive path.
+  void OnReply(const net::Packet& packet, sim::Time arrival);
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] const std::optional<WmmResult>& result() const {
+    return result_;
+  }
+
+ private:
+  void StartRun();
+  void SendPair();
+  void FinishRun();
+
+  sim::EventLoop& loop_;
+  ProbeTransport& transport_;
+  Config config_;
+  DoneCallback done_;
+
+  bool running_ = false;
+  int run_index_ = 0;
+  int prioritized_ = 0;
+  int completed_ = 0;
+  std::optional<WmmResult> result_;
+
+  // Per-run state.
+  bool pair_sent_ = false;
+  sim::Time pair_sent_at_ = 0;
+  bool normal_received_ = false;
+  bool high_received_ = false;
+  sim::Time normal_arrival_ = 0;
+  sim::Time high_arrival_ = 0;
+  sim::EventId timeout_event_ = 0;
+};
+
+}  // namespace kwikr::core

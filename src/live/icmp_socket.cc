@@ -1,0 +1,123 @@
+#include "live/icmp_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/ip.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kwikr::live {
+
+IcmpSocket::~IcmpSocket() { Close(); }
+
+IcmpSocket::IcmpSocket(IcmpSocket&& other) noexcept
+    : fd_(other.fd_), error_(std::move(other.error_)) {
+  other.fd_ = -1;
+}
+
+IcmpSocket& IcmpSocket::operator=(IcmpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    error_ = std::move(other.error_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void IcmpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool IcmpSocket::Open() {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_RAW, IPPROTO_ICMP);
+  if (fd_ < 0) {
+    error_ = std::string("socket(AF_INET, SOCK_RAW, IPPROTO_ICMP): ") +
+             std::strerror(errno) +
+             " (raw ICMP sockets require CAP_NET_RAW or root)";
+    return false;
+  }
+  return true;
+}
+
+bool IcmpSocket::SendEcho(std::uint32_t dest, std::uint8_t tos,
+                          std::uint16_t ident, std::uint16_t sequence,
+                          std::size_t payload_bytes) {
+  if (fd_ < 0) {
+    error_ = "socket not open";
+    return false;
+  }
+  const int tos_value = tos;
+  if (::setsockopt(fd_, IPPROTO_IP, IP_TOS, &tos_value, sizeof(tos_value)) <
+      0) {
+    error_ = std::string("setsockopt(IP_TOS): ") + std::strerror(errno);
+    return false;
+  }
+
+  net::IcmpEchoWire echo;
+  echo.type = 8;  // echo request
+  echo.ident = ident;
+  echo.sequence = sequence;
+  echo.payload.assign(payload_bytes, 0xA5);
+  const std::vector<std::uint8_t> wire = echo.Serialize();
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(dest);
+  const ssize_t sent =
+      ::sendto(fd_, wire.data(), wire.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0) {
+    error_ = std::string("sendto: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+std::optional<ReceivedEcho> IcmpSocket::Receive(
+    std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return std::nullopt;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (ready <= 0) return std::nullopt;
+
+  std::uint8_t buffer[2048];
+  sockaddr_in from{};
+  socklen_t from_len = sizeof(from);
+  const ssize_t n =
+      ::recvfrom(fd_, buffer, sizeof(buffer), 0,
+                 reinterpret_cast<sockaddr*>(&from), &from_len);
+  const auto arrival = std::chrono::steady_clock::now();
+  if (n <= 0) return std::nullopt;
+
+  // Raw ICMP receive buffers include the IP header.
+  const auto ip = net::Ipv4HeaderView::Parse(
+      {buffer, static_cast<std::size_t>(n)});
+  if (!ip) return std::nullopt;
+  const auto icmp = net::IcmpEchoWire::Parse(
+      {buffer + ip->ihl_bytes, static_cast<std::size_t>(n) - ip->ihl_bytes});
+  if (!icmp || icmp->type != 0) return std::nullopt;  // echo replies only.
+
+  ReceivedEcho received;
+  received.echo = *icmp;
+  received.tos = ip->tos;
+  received.from = ip->src;
+  received.arrival = arrival;
+  return received;
+}
+
+std::uint32_t IcmpSocket::ParseAddress(const std::string& dotted) {
+  in_addr addr{};
+  if (::inet_pton(AF_INET, dotted.c_str(), &addr) != 1) return 0;
+  return ntohl(addr.s_addr);
+}
+
+}  // namespace kwikr::live

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/wire.h"
+
+namespace kwikr::live {
+
+/// A received ICMP echo reply with its kernel-observed metadata.
+struct ReceivedEcho {
+  net::IcmpEchoWire echo;
+  std::uint8_t tos = 0;
+  std::uint32_t from = 0;  ///< source IPv4 address, host byte order.
+  std::chrono::steady_clock::time_point arrival;
+};
+
+/// RAII wrapper around a Linux raw ICMP socket, as used by the paper's
+/// standalone Ping-Pair tool (Section 7.2). Requires CAP_NET_RAW (or root);
+/// construction fails gracefully otherwise.
+///
+/// The TOS byte is set per send via IP_TOS, which is how the probe marks the
+/// normal- and high-priority pings.
+class IcmpSocket {
+ public:
+  IcmpSocket() = default;
+  ~IcmpSocket();
+  IcmpSocket(const IcmpSocket&) = delete;
+  IcmpSocket& operator=(const IcmpSocket&) = delete;
+  IcmpSocket(IcmpSocket&& other) noexcept;
+  IcmpSocket& operator=(IcmpSocket&& other) noexcept;
+
+  /// Opens the raw socket. Returns false (with a message in `error()`) when
+  /// the socket cannot be created — typically missing privileges.
+  bool Open();
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Sends an ICMP echo request. `dest` is an IPv4 address in host byte
+  /// order; `payload_bytes` pads the message to the requested size.
+  bool SendEcho(std::uint32_t dest, std::uint8_t tos, std::uint16_t ident,
+                std::uint16_t sequence, std::size_t payload_bytes);
+
+  /// Blocks up to `timeout` for one echo reply; nullopt on timeout/error.
+  std::optional<ReceivedEcho> Receive(std::chrono::milliseconds timeout);
+
+  /// Parses a dotted-quad IPv4 string to host byte order; 0 on failure.
+  static std::uint32_t ParseAddress(const std::string& dotted);
+
+ private:
+  void Close();
+
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace kwikr::live

@@ -1,0 +1,151 @@
+#include "live/live_ping_pair.h"
+
+#include <thread>
+
+#include "net/packet.h"
+
+namespace kwikr::live {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ToMs(Clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+LivePingPair::LivePingPair(IcmpSocket& socket, std::uint32_t gateway,
+                           Config config)
+    : socket_(socket), gateway_(gateway), config_(config) {}
+
+LiveSample LivePingPair::RunOnce(std::uint16_t round) {
+  LiveSample sample;
+  const std::uint16_t seq_normal = static_cast<std::uint16_t>(round * 2);
+  const std::uint16_t seq_high = static_cast<std::uint16_t>(round * 2 + 1);
+
+  // Normal-priority first, high-priority immediately after (Section 5.2).
+  const auto send_normal = Clock::now();
+  if (!socket_.SendEcho(gateway_, net::kTosBestEffort, config_.ident,
+                        seq_normal, config_.payload_bytes)) {
+    return sample;
+  }
+  const auto send_high = Clock::now();
+  if (!socket_.SendEcho(gateway_, net::kTosVoice, config_.ident, seq_high,
+                        config_.payload_bytes)) {
+    return sample;
+  }
+
+  std::optional<Clock::time_point> arrival_normal;
+  std::optional<Clock::time_point> arrival_high;
+  const auto deadline = Clock::now() + config_.reply_timeout;
+  while ((!arrival_normal || !arrival_high) && Clock::now() < deadline) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    const auto received = socket_.Receive(remaining);
+    if (!received) break;
+    if (received->echo.ident != config_.ident) continue;
+    if (received->echo.sequence == seq_normal && !arrival_normal) {
+      arrival_normal = received->arrival;
+    } else if (received->echo.sequence == seq_high && !arrival_high) {
+      arrival_high = received->arrival;
+    }
+  }
+  if (!arrival_normal || !arrival_high) return sample;
+
+  sample.rtt_normal_ms = ToMs(*arrival_normal - send_normal);
+  sample.rtt_high_ms = ToMs(*arrival_high - send_high);
+  if (*arrival_high >= *arrival_normal) return sample;  // invalid order.
+  sample.tq_ms = ToMs(*arrival_normal - *arrival_high);
+  sample.valid = true;
+  return sample;
+}
+
+std::vector<LiveSample> LivePingPair::Run(int rounds) {
+  std::vector<LiveSample> samples;
+  samples.reserve(rounds);
+  for (int i = 0; i < rounds; ++i) {
+    samples.push_back(RunOnce(static_cast<std::uint16_t>(i)));
+    if (i + 1 < rounds) {
+      std::this_thread::sleep_for(config_.round_interval);
+    }
+  }
+  return samples;
+}
+
+std::optional<bool> LivePingPair::DetectWmm() {
+  // Burst-and-pair protocol (see core::WmmDetector): a burst of large
+  // best-effort pings builds a downlink backlog; a ping-pair probes whether
+  // the high-priority reply can jump it.
+  constexpr int kRuns = 5;
+  constexpr int kNeeded = 3;
+  constexpr int kBurst = 8;
+  constexpr double kGapThresholdMs = 1.0;
+  int completed = 0;
+  int prioritized = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto base = static_cast<std::uint16_t>(0x7000 + run * (kBurst + 2));
+    bool sent = true;
+    for (int i = 0; i < kBurst && sent; ++i) {
+      sent = socket_.SendEcho(gateway_, net::kTosBestEffort, config_.ident,
+                              static_cast<std::uint16_t>(base + i), 1372);
+    }
+    if (!sent) continue;
+    socket_.SendEcho(gateway_, net::kTosBestEffort, config_.ident,
+                     static_cast<std::uint16_t>(base + kBurst),
+                     config_.payload_bytes);
+    socket_.SendEcho(gateway_, net::kTosVoice, config_.ident,
+                     static_cast<std::uint16_t>(base + kBurst + 1),
+                     config_.payload_bytes);
+
+    std::optional<Clock::time_point> normal;
+    std::optional<Clock::time_point> high;
+    const auto deadline = Clock::now() + config_.reply_timeout;
+    while ((!normal || !high) && Clock::now() < deadline) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - Clock::now());
+      const auto received = socket_.Receive(remaining);
+      if (!received || received->echo.ident != config_.ident) continue;
+      if (received->echo.sequence == base + kBurst) {
+        normal = received->arrival;
+      } else if (received->echo.sequence == base + kBurst + 1) {
+        high = received->arrival;
+      }
+    }
+    if (normal && high) {
+      ++completed;
+      if (*high < *normal && ToMs(*normal - *high) >= kGapThresholdMs) {
+        ++prioritized;
+      }
+    }
+    std::this_thread::sleep_for(config_.round_interval);
+  }
+  if (completed < kNeeded) return std::nullopt;
+  return prioritized >= kNeeded;
+}
+
+LiveKwikrMonitor::LiveKwikrMonitor(IcmpSocket& socket, std::uint32_t gateway,
+                                   Config config)
+    : prober_(socket, gateway, config.probe), config_(config) {}
+
+LiveKwikrMonitor::Report LiveKwikrMonitor::Step() {
+  const LiveSample sample = prober_.RunOnce(round_++);
+  ++report_.total_rounds;
+  report_.valid = sample.valid;
+  if (sample.valid) {
+    ++report_.total_valid;
+    report_.last_tq_ms = sample.tq_ms;
+    if (!has_smoothed_) {
+      smoothed_ = sample.tq_ms;
+      has_smoothed_ = true;
+    } else {
+      smoothed_ += config_.ewma_alpha * (sample.tq_ms - smoothed_);
+    }
+    report_.smoothed_tq_ms = smoothed_;
+    report_.congested = smoothed_ > config_.congestion_threshold_ms;
+  }
+  return report_;
+}
+
+}  // namespace kwikr::live

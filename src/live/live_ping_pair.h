@@ -1,0 +1,91 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "live/icmp_socket.h"
+
+namespace kwikr::live {
+
+/// One live Ping-Pair measurement against a real gateway.
+struct LiveSample {
+  double tq_ms = 0.0;       ///< downlink delay estimate.
+  bool valid = false;       ///< high reply arrived first, both received.
+  double rtt_high_ms = 0.0;
+  double rtt_normal_ms = 0.0;
+};
+
+/// Synchronous Ping-Pair runner over a raw ICMP socket — the live
+/// counterpart of the simulator's PingPairProber, equivalent to the paper's
+/// standalone Windows/Linux tool. One instance per gateway.
+class LivePingPair {
+ public:
+  struct Config {
+    std::uint16_t ident = 0x5051;
+    std::size_t payload_bytes = 36;  ///< 64-byte IP datagram.
+    std::chrono::milliseconds reply_timeout{500};
+    std::chrono::milliseconds round_interval{500};
+  };
+
+  LivePingPair(IcmpSocket& socket, std::uint32_t gateway, Config config);
+
+  /// Runs one round: sends the normal-priority ping then the high-priority
+  /// ping back to back and waits for both replies.
+  LiveSample RunOnce(std::uint16_t round);
+
+  /// Runs `rounds` rounds with the configured spacing.
+  std::vector<LiveSample> Run(int rounds);
+
+  /// Runs the WMM check (Section 5.5): returns true when at least 3 of 5
+  /// runs show the high-priority reply jumping a standing backlog, nullopt
+  /// when too few runs completed to decide.
+  std::optional<bool> DetectWmm();
+
+ private:
+  IcmpSocket& socket_;
+  std::uint32_t gateway_;
+  Config config_;
+};
+
+/// The paper's "standalone Kwikr module" (Section 7.1-7.2): continuous
+/// Ping-Pair monitoring of a real gateway with EWMA smoothing and the 5 ms
+/// congestion classification. Without packet capture the live module
+/// measures Tq only (attributing Ta requires observing the flow of
+/// interest's arrivals, which needs pcap or in-app integration).
+class LiveKwikrMonitor {
+ public:
+  struct Config {
+    LivePingPair::Config probe;
+    double ewma_alpha = 0.25;
+    double congestion_threshold_ms = 5.0;  ///< paper Section 8.1.
+  };
+
+  struct Report {
+    double smoothed_tq_ms = 0.0;
+    double last_tq_ms = 0.0;
+    bool congested = false;
+    bool valid = false;  ///< this step produced a usable measurement.
+    int total_valid = 0;
+    int total_rounds = 0;
+  };
+
+  LiveKwikrMonitor(IcmpSocket& socket, std::uint32_t gateway, Config config);
+
+  /// One probing step (one ping-pair round + smoothing). Blocks for up to
+  /// the probe's reply timeout.
+  Report Step();
+
+  [[nodiscard]] const Report& last_report() const { return report_; }
+
+ private:
+  LivePingPair prober_;
+  Config config_;
+  Report report_;
+  double smoothed_ = 0.0;
+  bool has_smoothed_ = false;
+  std::uint16_t round_ = 0;
+};
+
+}  // namespace kwikr::live

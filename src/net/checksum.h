@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace kwikr::net {
+
+/// RFC 1071 Internet checksum (ones'-complement sum of 16-bit words).
+/// Used by the live raw-socket ICMP implementation and its tests.
+std::uint16_t InternetChecksum(std::span<const std::uint8_t> data);
+
+/// Verifies that data containing an embedded checksum sums to zero.
+bool ChecksumIsValid(std::span<const std::uint8_t> data);
+
+}  // namespace kwikr::net

@@ -1,0 +1,32 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace kwikr::net {
+namespace {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kIcmp:
+      return "ICMP";
+    case Protocol::kUdp:
+      return "UDP";
+    case Protocol::kTcp:
+      return "TCP";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Describe(const Packet& packet) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s #%llu %u->%u tos=0x%02x size=%d flow=%u",
+                ProtocolName(packet.protocol),
+                static_cast<unsigned long long>(packet.id), packet.src,
+                packet.dst, packet.tos, packet.size_bytes, packet.flow);
+  return buf;
+}
+
+}  // namespace kwikr::net

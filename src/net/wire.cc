@@ -1,0 +1,90 @@
+#include "net/wire.h"
+
+#include "net/checksum.h"
+
+namespace kwikr::net {
+
+std::vector<std::uint8_t> IcmpEchoWire::Serialize() const {
+  std::vector<std::uint8_t> out(8 + payload.size());
+  out[0] = type;
+  out[1] = code;
+  out[2] = 0;  // checksum placeholder
+  out[3] = 0;
+  out[4] = static_cast<std::uint8_t>(ident >> 8);
+  out[5] = static_cast<std::uint8_t>(ident & 0xFF);
+  out[6] = static_cast<std::uint8_t>(sequence >> 8);
+  out[7] = static_cast<std::uint8_t>(sequence & 0xFF);
+  std::copy(payload.begin(), payload.end(), out.begin() + 8);
+  const std::uint16_t sum = InternetChecksum(out);
+  out[2] = static_cast<std::uint8_t>(sum >> 8);
+  out[3] = static_cast<std::uint8_t>(sum & 0xFF);
+  return out;
+}
+
+std::optional<IcmpEchoWire> IcmpEchoWire::Parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 8) return std::nullopt;
+  if (!ChecksumIsValid(data)) return std::nullopt;
+  IcmpEchoWire msg;
+  msg.type = data[0];
+  msg.code = data[1];
+  msg.ident = static_cast<std::uint16_t>(data[4] << 8 | data[5]);
+  msg.sequence = static_cast<std::uint16_t>(data[6] << 8 | data[7]);
+  msg.payload.assign(data.begin() + 8, data.end());
+  return msg;
+}
+
+std::vector<std::uint8_t> Ipv4Header::Serialize() const {
+  std::vector<std::uint8_t> out(20, 0);
+  out[0] = 0x45;  // version 4, IHL 5.
+  out[1] = tos;
+  out[2] = static_cast<std::uint8_t>(total_length >> 8);
+  out[3] = static_cast<std::uint8_t>(total_length & 0xFF);
+  out[4] = static_cast<std::uint8_t>(identification >> 8);
+  out[5] = static_cast<std::uint8_t>(identification & 0xFF);
+  out[8] = ttl;
+  out[9] = protocol;
+  out[12] = static_cast<std::uint8_t>(src >> 24);
+  out[13] = static_cast<std::uint8_t>(src >> 16);
+  out[14] = static_cast<std::uint8_t>(src >> 8);
+  out[15] = static_cast<std::uint8_t>(src);
+  out[16] = static_cast<std::uint8_t>(dst >> 24);
+  out[17] = static_cast<std::uint8_t>(dst >> 16);
+  out[18] = static_cast<std::uint8_t>(dst >> 8);
+  out[19] = static_cast<std::uint8_t>(dst);
+  const std::uint16_t sum = InternetChecksum(out);
+  out[10] = static_cast<std::uint8_t>(sum >> 8);
+  out[11] = static_cast<std::uint8_t>(sum & 0xFF);
+  return out;
+}
+
+std::vector<std::uint8_t> Ipv4Header::SerializeWithPayload(
+    std::span<const std::uint8_t> payload) const {
+  Ipv4Header header = *this;
+  header.total_length = static_cast<std::uint16_t>(20 + payload.size());
+  std::vector<std::uint8_t> out = header.Serialize();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<Ipv4HeaderView> Ipv4HeaderView::Parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 20) return std::nullopt;
+  const std::uint8_t version = data[0] >> 4;
+  if (version != 4) return std::nullopt;
+  Ipv4HeaderView view;
+  view.ihl_bytes = static_cast<std::uint8_t>((data[0] & 0x0F) * 4);
+  if (view.ihl_bytes < 20 || view.ihl_bytes > data.size()) return std::nullopt;
+  view.tos = data[1];
+  view.ttl = data[8];
+  view.protocol = data[9];
+  view.src = static_cast<std::uint32_t>(data[12]) << 24 |
+             static_cast<std::uint32_t>(data[13]) << 16 |
+             static_cast<std::uint32_t>(data[14]) << 8 | data[15];
+  view.dst = static_cast<std::uint32_t>(data[16]) << 24 |
+             static_cast<std::uint32_t>(data[17]) << 16 |
+             static_cast<std::uint32_t>(data[18]) << 8 | data[19];
+  return view;
+}
+
+}  // namespace kwikr::net

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace kwikr::net {
+
+/// On-the-wire ICMP echo message (request or reply) as used by the live
+/// raw-socket Ping-Pair tool. The payload carries a user cookie so replies
+/// can be matched to requests even if the network reorders them.
+struct IcmpEchoWire {
+  std::uint8_t type = 8;  ///< 8 = echo request, 0 = echo reply.
+  std::uint8_t code = 0;
+  std::uint16_t ident = 0;
+  std::uint16_t sequence = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Serializes to ICMP bytes with a correct checksum.
+  [[nodiscard]] std::vector<std::uint8_t> Serialize() const;
+
+  /// Parses ICMP bytes; returns nullopt on short input or bad checksum.
+  static std::optional<IcmpEchoWire> Parse(std::span<const std::uint8_t> data);
+};
+
+/// Full IPv4 header for the raw-IP (IP_HDRINCL) send path, as used by the
+/// paper's standalone Windows tool which constructs entire probe datagrams
+/// (Section 7.1). Serialization computes the header checksum; the TOS byte
+/// carries the WMM priority marking.
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  ///< header + payload bytes.
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 1;  ///< ICMP.
+  std::uint32_t src = 0;      ///< host byte order.
+  std::uint32_t dst = 0;      ///< host byte order.
+
+  /// 20-byte header with a correct checksum.
+  [[nodiscard]] std::vector<std::uint8_t> Serialize() const;
+
+  /// Full datagram: header (with total_length filled in) + payload.
+  [[nodiscard]] std::vector<std::uint8_t> SerializeWithPayload(
+      std::span<const std::uint8_t> payload) const;
+};
+
+/// Minimal IPv4 header view for parsing raw-socket receive buffers, which on
+/// Linux include the IP header for ICMP raw sockets.
+struct Ipv4HeaderView {
+  std::uint8_t ihl_bytes = 20;  ///< header length in bytes.
+  std::uint8_t tos = 0;
+  std::uint8_t ttl = 0;
+  std::uint8_t protocol = 0;
+  std::uint32_t src = 0;  ///< host byte order.
+  std::uint32_t dst = 0;  ///< host byte order.
+
+  static std::optional<Ipv4HeaderView> Parse(
+      std::span<const std::uint8_t> data);
+};
+
+}  // namespace kwikr::net

@@ -1,0 +1,41 @@
+#include "net/wired_link.h"
+
+#include <utility>
+
+namespace kwikr::net {
+
+WiredLink::WiredLink(sim::EventLoop& loop, Config config, Receiver receiver)
+    : loop_(loop), config_(config), receiver_(std::move(receiver)) {}
+
+void WiredLink::Send(Packet packet) {
+  if (queue_.size() >= config_.queue_capacity_packets) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(std::move(packet));
+  if (!transmitting_) StartTransmission();
+}
+
+void WiredLink::StartTransmission() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const Packet& head = queue_.front();
+  const sim::Duration tx = sim::TransmissionTime(
+      static_cast<std::int64_t>(head.size_bytes) * 8, config_.rate_bps);
+  loop_.ScheduleIn(tx, [this] {
+    Packet packet = std::move(queue_.front());
+    queue_.pop_front();
+    ++delivered_;
+    // Propagation happens in parallel with the next serialization.
+    loop_.ScheduleIn(config_.propagation,
+                     [this, packet = std::move(packet)]() mutable {
+                       receiver_(std::move(packet));
+                     });
+    StartTransmission();
+  });
+}
+
+}  // namespace kwikr::net

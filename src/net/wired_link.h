@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace kwikr::net {
+
+/// Unidirectional wired link with a serialization rate, propagation delay and
+/// a drop-tail FIFO queue. Models the paper's wired segment between the
+/// remote peer / server and the Wi-Fi AP. Use two instances for full duplex.
+class WiredLink {
+ public:
+  using Receiver = std::function<void(Packet)>;
+
+  struct Config {
+    std::int64_t rate_bps = 100'000'000;       ///< 100 Mbps default.
+    sim::Duration propagation = sim::Millis(1);
+    std::size_t queue_capacity_packets = 1000;
+  };
+
+  WiredLink(sim::EventLoop& loop, Config config, Receiver receiver);
+
+  /// Enqueues a packet; drops (and counts) when the queue is full.
+  void Send(Packet packet);
+
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void StartTransmission();
+
+  sim::EventLoop& loop_;
+  Config config_;
+  Receiver receiver_;
+  std::deque<Packet> queue_;
+  bool transmitting_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace kwikr::net

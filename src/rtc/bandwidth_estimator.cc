@@ -1,0 +1,50 @@
+#include "rtc/bandwidth_estimator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kwikr::rtc {
+
+BandwidthEstimator::BandwidthEstimator(LeakyBucketUkf::Config config)
+    : ukf_(config) {}
+
+void BandwidthEstimator::SetCrossTrafficProvider(
+    CrossTrafficProvider provider) {
+  cross_traffic_ = std::move(provider);
+}
+
+void BandwidthEstimator::OnPacket(sim::Time sender_timestamp,
+                                  sim::Time arrival, std::int32_t bytes) {
+  const sim::Duration owd = arrival - sender_timestamp;
+  if (!has_min_ || owd < min_owd_) {
+    min_owd_ = owd;
+    has_min_ = true;
+  }
+  const double delay_s = sim::ToSeconds(owd - min_owd_);
+  last_delay_s_ = delay_s;
+
+  double inter_send_s = 0.02;
+  if (has_prev_send_) {
+    inter_send_s = std::max(0.0, sim::ToSeconds(sender_timestamp -
+                                                prev_send_ts_));
+  }
+  prev_send_ts_ = sender_timestamp;
+  has_prev_send_ = true;
+
+  const double tc = cross_traffic_ ? std::max(0.0, cross_traffic_()) : 0.0;
+  ukf_.Update(delay_s, static_cast<double>(bytes), inter_send_s, tc);
+  ++updates_;
+}
+
+void BandwidthEstimator::OnPathChange() {
+  has_min_ = false;
+  has_prev_send_ = false;
+}
+
+double BandwidthEstimator::self_queueing_delay_s() const {
+  const double bw = ukf_.bandwidth_bytes_per_s();
+  if (bw <= 0.0) return 0.0;
+  return ukf_.queue_bytes() / bw;
+}
+
+}  // namespace kwikr::rtc

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+
+#include "rtc/ukf.h"
+#include "sim/time.h"
+
+namespace kwikr::rtc {
+
+/// Receiver-side bandwidth estimation: one-way-delay extraction with
+/// minimum tracking (removing clock offset and propagation delay, paper
+/// Section 6) feeding the leaky-bucket UKF.
+///
+/// The Kwikr integration point is `SetCrossTrafficProvider`: when installed
+/// (by core::KwikrAdapter), every filter update reads the current smoothed
+/// cross-traffic delay estimate Tc and applies the Equation-3 noise
+/// modulation. Without a provider the estimator is the unmodified baseline.
+class BandwidthEstimator {
+ public:
+  /// Returns the current cross-traffic delay estimate Tc in seconds.
+  using CrossTrafficProvider = std::function<double()>;
+
+  explicit BandwidthEstimator(LeakyBucketUkf::Config config = {});
+
+  void SetCrossTrafficProvider(CrossTrafficProvider provider);
+
+  /// Processes one received media packet.
+  /// @param sender_timestamp stamp from the sender's clock (may include an
+  ///        arbitrary offset; minimum tracking removes it).
+  /// @param arrival receiver clock at delivery.
+  /// @param bytes packet size.
+  void OnPacket(sim::Time sender_timestamp, sim::Time arrival,
+                std::int32_t bytes);
+
+  /// Current path bandwidth estimate, bits per second.
+  [[nodiscard]] double bandwidth_bps() const { return ukf_.bandwidth_bps(); }
+
+  /// The filter's own estimate of *self-induced* queueing delay (Q/BW),
+  /// seconds. This is the congestion signal the rate controller consumes:
+  /// under Kwikr, cross-traffic-induced delay is absorbed by the noise model
+  /// and does not appear here.
+  [[nodiscard]] double self_queueing_delay_s() const;
+
+  /// Last raw min-tracked one-way queueing delay observation, seconds.
+  [[nodiscard]] double last_observed_delay_s() const { return last_delay_s_; }
+
+  /// Forgets the path-learned one-way-delay baseline. Call on a handoff:
+  /// the minimum encodes the *old* path's propagation + clock offset and
+  /// would mis-baseline every delay observation on the new one.
+  void OnPathChange();
+
+  [[nodiscard]] std::int64_t updates() const { return updates_; }
+
+ private:
+  LeakyBucketUkf ukf_;
+  CrossTrafficProvider cross_traffic_;
+  bool has_min_ = false;
+  sim::Duration min_owd_ = 0;
+  bool has_prev_send_ = false;
+  sim::Time prev_send_ts_ = 0;
+  double last_delay_s_ = 0.0;
+  std::int64_t updates_ = 0;
+};
+
+}  // namespace kwikr::rtc

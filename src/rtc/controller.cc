@@ -1,0 +1,76 @@
+#include "rtc/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kwikr::rtc {
+
+RateController::Config RateController::SkypeProfile() { return Config{}; }
+
+RateController::Config RateController::FaceTimeProfile() {
+  Config config;
+  config.recovery_hold = sim::Seconds(8);
+  config.ramp_per_s = 0.05;
+  return config;
+}
+
+RateController::Config RateController::HangoutsProfile() {
+  Config config;
+  config.recovery_hold = sim::Seconds(6);
+  config.ramp_per_s = 0.04;
+  config.backoff_factor = 0.80;
+  return config;
+}
+
+RateController::RateController() : RateController(Config{}) {}
+
+RateController::RateController(Config config)
+    : config_(config), target_(config.start_rate_bps) {}
+
+std::int64_t RateController::Update(double bandwidth_estimate_bps,
+                                    double self_delay_s,
+                                    double recent_loss_fraction,
+                                    sim::Time now) {
+  const double dt = last_update_ == 0
+                        ? 0.0
+                        : sim::ToSeconds(now - last_update_);
+  last_update_ = now;
+
+  if (recent_loss_fraction > config_.loss_threshold &&
+      now - last_loss_backoff_ >= config_.backoff_interval) {
+    // Loss means the congestion is costing packets, whatever its cause:
+    // take a TCP-style multiplicative decrease (and, like TCP, resume
+    // growing immediately afterwards — no recovery hold).
+    target_ = static_cast<std::int64_t>(
+        static_cast<double>(target_) * config_.loss_backoff_factor);
+    last_loss_backoff_ = now;
+    ++backoff_count_;
+  } else if (self_delay_s > config_.congest_threshold_s) {
+    if (now - last_backoff_ >= config_.backoff_interval) {
+      const auto backoff_target = static_cast<std::int64_t>(
+          config_.backoff_factor * bandwidth_estimate_bps);
+      target_ = std::min(target_, backoff_target);
+      last_backoff_ = now;
+      ++backoff_count_;
+    }
+  } else if (self_delay_s < config_.clear_threshold_s &&
+             now - last_backoff_ >= config_.recovery_hold &&
+             now - last_loss_backoff_ >= config_.backoff_interval) {
+    // Ramp toward (and past) the estimate: the estimator follows once the
+    // extra traffic proves harmless.
+    const double growth = 1.0 + config_.ramp_per_s * dt;
+    const auto ramped = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(target_) * growth));
+    target_ = std::max(target_, ramped);
+  }
+  // Never exceed what the estimator believes the path can carry by more
+  // than the probing headroom.
+  const auto ceiling = static_cast<std::int64_t>(
+      std::max(bandwidth_estimate_bps * 1.05,
+               static_cast<double>(config_.min_rate_bps)));
+  target_ = std::clamp(target_, config_.min_rate_bps,
+                       std::min(config_.max_rate_bps, ceiling));
+  return target_;
+}
+
+}  // namespace kwikr::rtc

@@ -1,0 +1,138 @@
+#include "rtc/gcc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace kwikr::rtc {
+
+void TrendlineEstimator::OnSample(double arrival_ms, double delay_ms) {
+  if (!has_smoothed_) {
+    smoothed_ = delay_ms;
+    has_smoothed_ = true;
+  } else {
+    smoothed_ = config_.smoothing * smoothed_ +
+                (1.0 - config_.smoothing) * delay_ms;
+  }
+  window_.push_back(Point{arrival_ms, smoothed_});
+  while (window_.size() > static_cast<std::size_t>(config_.window_size)) {
+    window_.pop_front();
+  }
+  if (window_.size() < 3) {
+    slope_ = 0.0;
+    return;
+  }
+  // Least-squares slope of smoothed delay over time.
+  double sum_t = 0.0;
+  double sum_d = 0.0;
+  for (const auto& p : window_) {
+    sum_t += p.t_ms;
+    sum_d += p.smoothed_delay_ms;
+  }
+  const double n = static_cast<double>(window_.size());
+  const double mean_t = sum_t / n;
+  const double mean_d = sum_d / n;
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& p : window_) {
+    num += (p.t_ms - mean_t) * (p.smoothed_delay_ms - mean_d);
+    den += (p.t_ms - mean_t) * (p.t_ms - mean_t);
+  }
+  slope_ = den > 1e-9 ? num / den : 0.0;
+}
+
+GccController::GccController(Config config)
+    : config_(config),
+      trendline_(config.trendline),
+      target_(config.start_rate_bps) {}
+
+void GccController::SetCrossTrafficProvider(CrossTrafficProvider provider) {
+  cross_traffic_ = std::move(provider);
+}
+
+void GccController::OnPathChange() {
+  has_min_ = false;
+  trendline_ = TrendlineEstimator(config_.trendline);
+  overuse_since_ = -1;
+  usage_ = BandwidthUsage::kNormal;
+}
+
+double GccController::trend_ms() const {
+  // Projected delay growth over one window of typical packet spacing
+  // (20 ms), the quantity compared against the overuse threshold.
+  return trendline_.slope() * 20.0 *
+         static_cast<double>(config_.trendline.window_size);
+}
+
+void GccController::OnPacket(sim::Time sender_timestamp, sim::Time arrival,
+                             std::int32_t bytes) {
+  const sim::Duration owd = arrival - sender_timestamp;
+  if (!has_min_ || owd < min_owd_) {
+    min_owd_ = owd;
+    has_min_ = true;
+  }
+  double delay_ms = sim::ToMillis(owd - min_owd_);
+  if (cross_traffic_) {
+    // Section 6's direct modification: remove the cross-traffic share of
+    // the delay before the gradient sees it.
+    delay_ms = std::max(0.0, delay_ms - cross_traffic_() * 1000.0);
+  }
+  trendline_.OnSample(sim::ToMillis(arrival), delay_ms);
+
+  // Receive-rate bookkeeping.
+  if (rate_window_start_ == 0) rate_window_start_ = arrival;
+  rate_window_bytes_ += bytes;
+  if (arrival - rate_window_start_ >= sim::Millis(500)) {
+    receive_rate_bps_ =
+        static_cast<double>(rate_window_bytes_) * 8.0 /
+        sim::ToSeconds(arrival - rate_window_start_);
+    rate_window_start_ = arrival;
+    rate_window_bytes_ = 0;
+  }
+
+  UpdateState(arrival);
+}
+
+void GccController::UpdateState(sim::Time now) {
+  const double trend = trend_ms();
+  if (trend > config_.overuse_threshold_ms) {
+    if (overuse_since_ < 0) overuse_since_ = now;
+    if (now - overuse_since_ >= config_.overuse_time) {
+      usage_ = BandwidthUsage::kOverusing;
+    }
+  } else {
+    overuse_since_ = -1;
+    usage_ = trend < -config_.overuse_threshold_ms
+                 ? BandwidthUsage::kUnderusing
+                 : BandwidthUsage::kNormal;
+  }
+
+  const double dt =
+      last_update_ == 0 ? 0.0 : sim::ToSeconds(now - last_update_);
+  last_update_ = now;
+
+  switch (usage_) {
+    case BandwidthUsage::kOverusing:
+      if (now - last_decrease_ >= config_.decrease_interval &&
+          receive_rate_bps_ > 0.0) {
+        target_ = static_cast<std::int64_t>(config_.decrease_factor *
+                                            receive_rate_bps_);
+        last_decrease_ = now;
+        ++decreases_;
+      }
+      break;
+    case BandwidthUsage::kNormal:
+      if (now - last_decrease_ >= config_.decrease_interval) {
+        const double growth = 1.0 + config_.increase_per_s * dt;
+        target_ = static_cast<std::int64_t>(
+            std::ceil(static_cast<double>(target_) * growth));
+      }
+      break;
+    case BandwidthUsage::kUnderusing:
+      // Hold: let the queues drain before probing again.
+      break;
+  }
+  target_ = std::clamp(target_, config_.min_rate_bps, config_.max_rate_bps);
+}
+
+}  // namespace kwikr::rtc

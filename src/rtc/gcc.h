@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/time.h"
+
+namespace kwikr::rtc {
+
+/// Trendline estimator over one-way queueing-delay samples: least-squares
+/// slope of exponentially smoothed delay against arrival time over a
+/// sliding window. This is the core of the Google Congestion Control
+/// (GCC/WebRTC) family the paper discusses in Section 2 — a delay-*gradient*
+/// detector, in contrast to Skype's delay-*level* Kalman estimator.
+class TrendlineEstimator {
+ public:
+  struct Config {
+    int window_size = 20;
+    double smoothing = 0.9;  ///< EWMA weight kept for the previous value.
+  };
+
+  TrendlineEstimator() : TrendlineEstimator(Config{}) {}
+  explicit TrendlineEstimator(Config config) : config_(config) {}
+
+  /// Adds one (arrival time, queueing delay) sample.
+  void OnSample(double arrival_ms, double delay_ms);
+
+  /// Current slope in ms of delay growth per ms of time; 0 until the
+  /// window has at least three samples.
+  [[nodiscard]] double slope() const { return slope_; }
+  [[nodiscard]] int samples() const { return static_cast<int>(window_.size()); }
+
+ private:
+  struct Point {
+    double t_ms;
+    double smoothed_delay_ms;
+  };
+
+  Config config_;
+  std::deque<Point> window_;
+  double smoothed_ = 0.0;
+  bool has_smoothed_ = false;
+  double slope_ = 0.0;
+};
+
+/// Bandwidth usage verdict from the overuse detector.
+enum class BandwidthUsage { kNormal, kOverusing, kUnderusing };
+
+/// GCC-style rate controller: a trendline overuse detector drives an
+/// increase/hold/decrease state machine over the measured receive rate.
+///
+/// Like the Skype estimator, it is a *symptom* reader: it cannot tell
+/// self-congestion from cross traffic. `SetCrossTrafficProvider` applies
+/// the paper's Section 6 "obvious modification" — subtract the Ping-Pair
+/// cross-traffic delay Tc from the delay signal before the gradient is
+/// computed — turning it into a Kwikr-informed controller.
+class GccController {
+ public:
+  struct Config {
+    std::int64_t min_rate_bps = 160'000;
+    std::int64_t max_rate_bps = 2'500'000;
+    std::int64_t start_rate_bps = 500'000;
+    /// Overuse threshold on the projected delay trend (slope x window),
+    /// milliseconds.
+    double overuse_threshold_ms = 2.0;
+    /// Overuse must persist this long before a decrease.
+    sim::Duration overuse_time = sim::Millis(30);
+    /// Multiplicative increase per second while normal.
+    double increase_per_s = 0.08;
+    /// Decrease factor applied to the measured receive rate.
+    double decrease_factor = 0.85;
+    /// Spacing between decreases.
+    sim::Duration decrease_interval = sim::Millis(300);
+    TrendlineEstimator::Config trendline;
+  };
+
+  using CrossTrafficProvider = std::function<double()>;  ///< Tc seconds.
+
+  GccController() : GccController(Config{}) {}
+  explicit GccController(Config config);
+
+  /// Feeds one received media packet.
+  void OnPacket(sim::Time sender_timestamp, sim::Time arrival,
+                std::int32_t bytes);
+
+  /// Installs the Kwikr hook (nullptr-safe; absent = plain GCC).
+  void SetCrossTrafficProvider(CrossTrafficProvider provider);
+
+  /// Forgets path-learned state (delay baseline, trend window) on handoff.
+  void OnPathChange();
+
+  [[nodiscard]] std::int64_t target_rate_bps() const { return target_; }
+  [[nodiscard]] BandwidthUsage usage() const { return usage_; }
+  [[nodiscard]] double trend_ms() const;
+  [[nodiscard]] std::int64_t decreases() const { return decreases_; }
+  /// Receive rate measured over the last window, bps.
+  [[nodiscard]] double receive_rate_bps() const { return receive_rate_bps_; }
+
+ private:
+  void UpdateState(sim::Time now);
+
+  Config config_;
+  CrossTrafficProvider cross_traffic_;
+  TrendlineEstimator trendline_;
+
+  std::int64_t target_;
+  BandwidthUsage usage_ = BandwidthUsage::kNormal;
+
+  bool has_min_ = false;
+  sim::Duration min_owd_ = 0;
+
+  sim::Time overuse_since_ = -1;
+  sim::Time last_decrease_ = -(1LL << 60);
+  sim::Time last_update_ = 0;
+  std::int64_t decreases_ = 0;
+
+  // Receive-rate measurement (500 ms buckets).
+  sim::Time rate_window_start_ = 0;
+  std::int64_t rate_window_bytes_ = 0;
+  double receive_rate_bps_ = 0.0;
+};
+
+}  // namespace kwikr::rtc

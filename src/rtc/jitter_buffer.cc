@@ -1,0 +1,39 @@
+#include "rtc/jitter_buffer.h"
+
+#include <algorithm>
+
+namespace kwikr::rtc {
+
+JitterBuffer::JitterBuffer(Config config)
+    : config_(config),
+      delay_ms_(sim::ToMillis(config.initial_delay)) {}
+
+bool JitterBuffer::OnPacket(sim::Time sender_timestamp, sim::Time arrival) {
+  const sim::Duration owd = arrival - sender_timestamp;
+  if (!has_min_ || owd < min_owd_) {
+    min_owd_ = owd;
+    has_min_ = true;
+  }
+  const double jitter_ms = sim::ToMillis(owd - min_owd_);
+  const bool in_time = jitter_ms <= delay_ms_;
+  if (in_time) {
+    ++played_;
+    delay_ms_ -= config_.shrink_ms;
+  } else {
+    ++late_;
+    delay_ms_ += config_.grow_ms;
+  }
+  delay_ms_ = std::clamp(delay_ms_, sim::ToMillis(config_.min_delay),
+                         sim::ToMillis(config_.max_delay));
+  return in_time;
+}
+
+void JitterBuffer::OnPathChange() { has_min_ = false; }
+
+double JitterBuffer::late_fraction() const {
+  const std::int64_t total = played_ + late_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(late_) / static_cast<double>(total);
+}
+
+}  // namespace kwikr::rtc

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace kwikr::rtc {
+
+/// Receiver-side playout model. Real-time interactive streaming cannot hide
+/// delay variation behind a multi-second buffer (paper Section 1: the VoIP
+/// budget is ~300 ms end to end); instead a small adaptive jitter buffer
+/// absorbs variation and anything beyond it plays late or not at all.
+///
+/// The buffer delay adapts toward a high percentile of the observed jitter
+/// (one-sided quantile tracker): growing quickly on late packets, shrinking
+/// slowly when the network calms. `late_fraction()` is the user-experience
+/// metric: the share of packets that missed their playout deadline.
+class JitterBuffer {
+ public:
+  struct Config {
+    sim::Duration min_delay = sim::Millis(10);
+    sim::Duration max_delay = sim::Millis(200);
+    sim::Duration initial_delay = sim::Millis(40);
+    /// Quantile-tracker steps: the buffer converges to roughly the
+    /// grow/(grow+shrink) percentile of the jitter distribution (~95%).
+    double grow_ms = 1.9;
+    double shrink_ms = 0.1;
+  };
+
+  JitterBuffer() : JitterBuffer(Config{}) {}
+  explicit JitterBuffer(Config config);
+
+  /// Processes one media packet; returns true when it arrived in time to
+  /// play (jitter within the current buffer delay).
+  bool OnPacket(sim::Time sender_timestamp, sim::Time arrival);
+
+  /// Forgets the path baseline (handoff).
+  void OnPathChange();
+
+  [[nodiscard]] double buffer_delay_ms() const { return delay_ms_; }
+  [[nodiscard]] std::int64_t played() const { return played_; }
+  [[nodiscard]] std::int64_t late() const { return late_; }
+  [[nodiscard]] double late_fraction() const;
+
+ private:
+  Config config_;
+  double delay_ms_;
+  bool has_min_ = false;
+  sim::Duration min_owd_ = 0;
+  std::int64_t played_ = 0;
+  std::int64_t late_ = 0;
+};
+
+}  // namespace kwikr::rtc

@@ -1,0 +1,157 @@
+#include "rtc/ukf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kwikr::rtc {
+namespace {
+
+// Sigma-point spread: Julier's symmetric set with kappa = 1 gives strictly
+// positive weights (W0 = kappa/(L+kappa), Wi = 1/(2(L+kappa))), which keeps
+// the covariance update well-conditioned around the max(0, .) nonlinearity.
+constexpr int kStateDim = 2;
+constexpr double kKappa = 1.0;
+constexpr double kSpread = kStateDim + kKappa;  // (L + kappa)
+
+struct Chol2 {
+  double l00 = 0.0;
+  double l10 = 0.0;
+  double l11 = 0.0;
+};
+
+Chol2 Cholesky2(const std::array<std::array<double, 2>, 2>& p) {
+  Chol2 c;
+  c.l00 = std::sqrt(std::max(p[0][0], 1e-12));
+  c.l10 = p[0][1] / c.l00;
+  c.l11 = std::sqrt(std::max(p[1][1] - c.l10 * c.l10, 1e-12));
+  return c;
+}
+
+}  // namespace
+
+LeakyBucketUkf::LeakyBucketUkf() : LeakyBucketUkf(Config{}) {}
+
+LeakyBucketUkf::LeakyBucketUkf(Config config) : config_(config) {
+  bw_ = config_.initial_bandwidth_bps / 8.0;  // state is bytes/s.
+  q_ = 0.0;
+  const double sbw = config_.initial_bandwidth_stddev_bps / 8.0;
+  const double sq = config_.initial_queue_stddev_bytes;
+  p_ = {{{sbw * sbw, 0.0}, {0.0, sq * sq}}};
+}
+
+void LeakyBucketUkf::Update(double delay_s, double packet_bytes,
+                            double inter_send_s,
+                            double cross_traffic_delay_s) {
+  inter_send_s = std::clamp(inter_send_s, 0.0, 1.0);
+
+  // --- Sigma points from the current state ---------------------------------
+  const Chol2 chol = Cholesky2(p_);
+  const double scale = std::sqrt(kSpread);
+  // Columns of scale * chol(P).
+  const double d0_bw = scale * chol.l00;
+  const double d0_q = scale * chol.l10;
+  const double d1_bw = 0.0;
+  const double d1_q = scale * chol.l11;
+
+  std::array<Vec2, 5> chi = {{
+      {bw_, q_},
+      {bw_ + d0_bw, q_ + d0_q},
+      {bw_ - d0_bw, q_ - d0_q},
+      {bw_ + d1_bw, q_ + d1_q},
+      {bw_ - d1_bw, q_ - d1_q},
+  }};
+  const double w0 = kKappa / kSpread;
+  const double wi = 1.0 / (2.0 * kSpread);
+  const std::array<double, 5> w = {w0, wi, wi, wi, wi};
+
+  // --- Predict: propagate through the leaky-bucket process -----------------
+  // The queue is allowed to go negative inside the filter (and is clamped on
+  // the posterior mean instead): clamping every sigma point at zero would
+  // destroy the measurement gradient whenever the per-step drain exceeds the
+  // sigma spread, leaving the filter blind to rising delay.
+  for (auto& x : chi) {
+    const double bw = std::max(x[0], config_.min_bandwidth_bps / 8.0);
+    x[1] = x[1] + packet_bytes - bw * inter_send_s;
+  }
+  Vec2 mean = {0.0, 0.0};
+  for (int i = 0; i < 5; ++i) {
+    mean[0] += w[i] * chi[i][0];
+    mean[1] += w[i] * chi[i][1];
+  }
+  Mat2 pred = {{{0.0, 0.0}, {0.0, 0.0}}};
+  for (int i = 0; i < 5; ++i) {
+    const double dbw = chi[i][0] - mean[0];
+    const double dq = chi[i][1] - mean[1];
+    pred[0][0] += w[i] * dbw * dbw;
+    pred[0][1] += w[i] * dbw * dq;
+    pred[1][1] += w[i] * dq * dq;
+  }
+  const double qbw = config_.bandwidth_process_stddev_bps / 8.0;
+  const double qq = config_.queue_process_stddev_bytes;
+  pred[0][0] += qbw * qbw;
+  pred[1][1] += qq * qq;
+  pred[1][0] = pred[0][1];
+
+  // --- Observation: d = Q / BW + e ------------------------------------------
+  std::array<double, 5> y{};
+  for (int i = 0; i < 5; ++i) {
+    const double bw = std::max(chi[i][0], config_.min_bandwidth_bps / 8.0);
+    y[i] = chi[i][1] / bw;
+  }
+  double y_mean = 0.0;
+  for (int i = 0; i < 5; ++i) y_mean += w[i] * y[i];
+
+  // Kwikr's Equation 3 displaces only the '+' observation-noise sigma point
+  // to sqrt(sigma_e^2 + beta * Tc^2) while the '-' point keeps sigma_e. The
+  // literal Wan/van-der-Merwe weights at alpha = 1e-3 turn that one-sided
+  // displacement into a divergent mean shift, so we use the moment-matched
+  // equivalent of the displaced pair: observation noise with positive mean
+  // (sigma_plus - sigma_e)/2 and standard deviation (sigma_plus + sigma_e)/2.
+  // At Tc = 0 this reduces exactly to the unmodified filter; as Tc grows the
+  // delay observation is (a) partly attributed to cross traffic via the mean
+  // and (b) down-weighted via the inflated variance — the paper's two stated
+  // effects (Section 6).
+  const double sigma_e = config_.observation_stddev_s;
+  const double sigma_plus = std::sqrt(
+      sigma_e * sigma_e + config_.beta * cross_traffic_delay_s *
+                              cross_traffic_delay_s);
+  const double noise_mean = (sigma_plus - sigma_e) / 2.0;
+  const double noise_stddev = (sigma_plus + sigma_e) / 2.0;
+
+  double pyy = noise_stddev * noise_stddev;
+  Vec2 pxy = {0.0, 0.0};
+  for (int i = 0; i < 5; ++i) {
+    const double dy = y[i] - y_mean;
+    pyy += w[i] * dy * dy;
+    pxy[0] += w[i] * (chi[i][0] - mean[0]) * dy;
+    pxy[1] += w[i] * (chi[i][1] - mean[1]) * dy;
+  }
+
+  const double innovation = delay_s - y_mean - noise_mean;
+  const Vec2 gain = {pxy[0] / pyy, pxy[1] / pyy};
+
+  bw_ = mean[0] + gain[0] * innovation;
+  q_ = mean[1] + gain[1] * innovation;
+  p_[0][0] = pred[0][0] - gain[0] * pyy * gain[0];
+  p_[0][1] = pred[0][1] - gain[0] * pyy * gain[1];
+  p_[1][1] = pred[1][1] - gain[1] * pyy * gain[1];
+  p_[1][0] = p_[0][1];
+  Clamp();
+}
+
+void LeakyBucketUkf::Clamp() {
+  bw_ = std::clamp(bw_, config_.min_bandwidth_bps / 8.0,
+                   config_.max_bandwidth_bps / 8.0);
+  q_ = std::max(q_, 0.0);
+  p_[0][0] = std::clamp(p_[0][0], 1e2, 1e12);
+  // The queue variance floor keeps the filter observable at Q = 0: without
+  // it the max(0, .) process pins every sigma point to zero queue and the
+  // measurement loses all gradient, leaving the filter blind to delay.
+  p_[1][1] = std::clamp(p_[1][1], 1e5, 1e10);
+  // Keep the covariance positive definite: bound the correlation.
+  const double max_cross = 0.99 * std::sqrt(p_[0][0] * p_[1][1]);
+  p_[0][1] = std::clamp(p_[0][1], -max_cross, max_cross);
+  p_[1][0] = p_[0][1];
+}
+
+}  // namespace kwikr::rtc

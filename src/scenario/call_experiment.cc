@@ -1,0 +1,226 @@
+#include "scenario/call_experiment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/summary.h"
+
+namespace kwikr::scenario {
+namespace {
+
+/// Everything that makes up one live call inside the experiment.
+struct LiveCall {
+  wifi::Station* station = nullptr;
+  net::Address server = 0;
+  net::FlowId flow = net::kNoFlow;
+  std::unique_ptr<rtc::MediaSender> sender;
+  std::unique_ptr<rtc::MediaReceiver> receiver;
+  std::unique_ptr<StationProbeTransport> probe_transport;
+  std::unique_ptr<core::PingPairProber> prober;
+  std::unique_ptr<core::KwikrAdapter> adapter;
+};
+
+double MeanOfRange(const std::vector<double>& series, std::size_t begin,
+                   std::size_t end) {
+  begin = std::min(begin, series.size());
+  end = std::min(end, series.size());
+  if (begin >= end) return 0.0;
+  const double sum = std::accumulate(series.begin() + begin,
+                                     series.begin() + end, 0.0);
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
+  Testbed::Config tb_config;
+  tb_config.seed = config.seed;
+  Testbed testbed(tb_config);
+
+  Bss::Config bss_config;
+  bss_config.ap.address = kApBaseAddress;
+  bss_config.ap.band = config.band;
+  bss_config.ap.wmm_enabled = config.wmm_enabled;
+  bss_config.ap.queue_capacity[Index(wifi::AccessCategory::kBestEffort)] =
+      config.be_queue_capacity;
+  Bss& bss = testbed.AddBss(bss_config);
+
+  // --- Calls ---------------------------------------------------------------
+  std::vector<LiveCall> calls(config.calls.size());
+  for (std::size_t i = 0; i < config.calls.size(); ++i) {
+    const CallConfig& cc = config.calls[i];
+    LiveCall& call = calls[i];
+    call.flow = testbed.NextFlowId();
+    call.server = testbed.NextServerAddress();
+    call.station = &bss.AddStation(testbed.NextStationAddress(),
+                                   config.client_rate_bps);
+
+    rtc::MediaSender::Config sender_config;
+    sender_config.src = call.server;
+    sender_config.dst = call.station->address();
+    sender_config.flow = call.flow;
+    sender_config.start_rate_bps = cc.start_rate_bps;
+    call.sender = std::make_unique<rtc::MediaSender>(
+        testbed.loop(), testbed.ids(), sender_config,
+        [&bss](net::Packet packet) { bss.SendFromWan(std::move(packet)); });
+
+    rtc::MediaReceiver::Config receiver_config;
+    receiver_config.src = call.station->address();
+    receiver_config.dst = call.server;
+    receiver_config.flow = call.flow;
+    receiver_config.controller = cc.controller;
+    receiver_config.controller.start_rate_bps = cc.start_rate_bps;
+    receiver_config.estimator.beta = cc.beta;
+    receiver_config.adaptation = cc.adaptation;
+    receiver_config.gcc.start_rate_bps = cc.start_rate_bps;
+    wifi::Station* station = call.station;
+    call.receiver = std::make_unique<rtc::MediaReceiver>(
+        testbed.loop(), testbed.ids(), receiver_config,
+        [station](net::Packet packet) { station->Send(std::move(packet)); });
+
+    call.probe_transport = std::make_unique<StationProbeTransport>(
+        testbed.loop(), testbed.ids(), *call.station, bss.ap().address());
+    core::PingPairProber::Config probe_config;
+    probe_config.interval = config.probe_interval;
+    probe_config.dual = config.dual_ping_pair;
+    probe_config.mode = config.measurement_mode;
+    probe_config.ident = static_cast<std::uint16_t>(0x5050 + i);
+    call.prober = std::make_unique<core::PingPairProber>(
+        testbed.loop(), *call.probe_transport, probe_config, call.flow);
+    call.adapter = std::make_unique<core::KwikrAdapter>(testbed.loop());
+    call.adapter->AttachTo(*call.prober);
+    if (cc.kwikr) {
+      call.receiver->SetCrossTrafficProvider(
+          call.adapter->CrossTrafficProvider());
+    }
+
+    // Client receive path: media -> receiver + prober flow log; ICMP ->
+    // prober replies.
+    rtc::MediaReceiver* receiver = call.receiver.get();
+    core::PingPairProber* prober = call.prober.get();
+    call.station->AddReceiver(
+        [receiver, prober](const net::Packet& packet, sim::Time arrival) {
+          if (packet.protocol == net::Protocol::kIcmp) {
+            prober->OnReply(packet, arrival);
+            return;
+          }
+          prober->OnFlowPacket(packet, arrival);
+          receiver->OnPacket(packet, arrival);
+        });
+
+    // Wired side: feedback reports reach the media sender.
+    rtc::MediaSender* sender = call.sender.get();
+    bss.RegisterWanEndpoint(
+        call.server, [sender](net::Packet packet, sim::Time arrival) {
+          sender->OnFeedback(packet, arrival);
+        });
+  }
+
+  // --- Cross traffic -------------------------------------------------------
+  for (int s = 0; s < config.cross_stations; ++s) {
+    wifi::Station& station = bss.AddStation(testbed.NextStationAddress(),
+                                            config.client_rate_bps);
+    testbed.AddTcpBulkFlows(bss, station, config.flows_per_station);
+  }
+  if (config.cross_stations > 0) {
+    testbed.ScheduleCrossTraffic(config.congestion_start,
+                                 config.congestion_end);
+  }
+
+  // --- Foreground TCP flow (Figure 1) --------------------------------------
+  std::vector<double> tcp_rate_series;
+  std::unique_ptr<sim::PeriodicTimer> tcp_sampler;
+  transport::TcpRenoReceiver* fg_receiver = nullptr;
+  std::int64_t fg_last_bytes = 0;
+  if (config.foreground_tcp) {
+    wifi::Station& station = bss.AddStation(testbed.NextStationAddress(),
+                                            config.client_rate_bps);
+    // A single real-world download is receive-window limited; this keeps
+    // the foreground flow from bloating the AP queue on its own.
+    transport::TcpRenoSender::Config fg;
+    fg.max_in_flight = 96;
+    auto flows =
+        testbed.AddTcpBulkFlows(bss, station, 1, /*managed=*/false, fg);
+    flows.front()->sender->Start();
+    fg_receiver = flows.front()->receiver.get();
+    tcp_sampler = std::make_unique<sim::PeriodicTimer>(
+        testbed.loop(), sim::Seconds(1), [&tcp_rate_series, fg_receiver,
+                                          &fg_last_bytes] {
+          const std::int64_t bytes = fg_receiver->bytes_received();
+          tcp_rate_series.push_back(
+              static_cast<double>(bytes - fg_last_bytes) * 8.0 / 1000.0);
+          fg_last_bytes = bytes;
+        });
+    tcp_sampler->Start();
+  }
+
+  // --- Throttle (Figure 9) -------------------------------------------------
+  if (config.throttle_bps > 0) {
+    transport::TokenBucket::Config tb;
+    tb.rate_bps = 0;  // unshaped until throttle_start.
+    transport::TokenBucket& throttle = bss.InstallThrottle(tb);
+    const std::int64_t rate = config.throttle_bps;
+    testbed.loop().ScheduleAt(config.throttle_start,
+                              [&throttle, rate] { throttle.SetRate(rate); });
+    if (config.throttle_end > config.throttle_start) {
+      testbed.loop().ScheduleAt(config.throttle_end,
+                                [&throttle] { throttle.SetRate(0); });
+    }
+  }
+
+  // --- Queue ground truth --------------------------------------------------
+  std::vector<std::size_t> queue_samples;
+  std::unique_ptr<sim::PeriodicTimer> queue_sampler;
+  if (config.sample_queue) {
+    queue_sampler = std::make_unique<sim::PeriodicTimer>(
+        testbed.loop(), config.queue_sample_interval, [&queue_samples, &bss] {
+          queue_samples.push_back(bss.ap().DownlinkQueueLength(
+              wifi::AccessCategory::kBestEffort));
+        });
+    queue_sampler->Start();
+  }
+
+  // --- Run -----------------------------------------------------------------
+  for (auto& call : calls) {
+    call.sender->Start();
+    call.receiver->Start();
+    call.prober->Start();
+  }
+  testbed.loop().RunUntil(config.duration);
+  for (auto& call : calls) {
+    call.sender->Stop();
+    call.receiver->Stop();
+    call.prober->Stop();
+  }
+
+  // --- Collect -------------------------------------------------------------
+  ExperimentMetrics metrics;
+  metrics.channel_busy_fraction = testbed.channel().BusyFraction();
+  metrics.cross_traffic_bytes = testbed.CrossTrafficBytesReceived();
+  metrics.tcp_rate_series_kbps = std::move(tcp_rate_series);
+  metrics.queue_samples = std::move(queue_samples);
+  for (auto& call : calls) {
+    CallMetrics m;
+    m.rate_series_kbps = call.receiver->rate_series_kbps();
+    m.mean_rate_kbps = MeanOfRange(m.rate_series_kbps, 0,
+                                   m.rate_series_kbps.size());
+    if (config.congestion_end > config.congestion_start) {
+      m.mean_rate_congested_kbps = MeanOfRange(
+          m.rate_series_kbps,
+          static_cast<std::size_t>(config.congestion_start / sim::kSecond),
+          static_cast<std::size_t>(config.congestion_end / sim::kSecond));
+    }
+    m.rtt_ms.reserve(call.sender->rtt_samples_s().size());
+    for (double rtt_s : call.sender->rtt_samples_s()) {
+      m.rtt_ms.push_back(rtt_s * 1000.0);
+    }
+    m.loss_pct = call.receiver->loss_fraction() * 100.0;
+    m.late_frame_pct = call.receiver->jitter_buffer().late_fraction() * 100.0;
+    m.probe_samples = call.prober->samples();
+    m.probe_stats = call.prober->stats();
+    metrics.calls.push_back(std::move(m));
+  }
+  return metrics;
+}
+
+}  // namespace kwikr::scenario

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/kwikr.h"
+#include "core/ping_pair.h"
+#include "rtc/controller.h"
+#include "rtc/media.h"
+#include "scenario/testbed.h"
+#include "sim/time.h"
+#include "wifi/rate_table.h"
+
+namespace kwikr::scenario {
+
+/// Parameters of one simulated AV call on a single-AP testbed, with optional
+/// TCP cross-traffic, an optional always-on foreground TCP flow (Figure 1),
+/// and an optional mid-call token-bucket throttle (Figure 9).
+struct CallConfig {
+  bool kwikr = false;  ///< enable Ping-Pair-informed adaptation.
+  rtc::RateController::Config controller;  ///< profile (Skype default).
+  std::int64_t start_rate_bps = 500'000;
+  /// Kwikr noise-scaling factor (Equation 3); only meaningful with kwikr on.
+  double beta = 4.0;
+  /// Adaptation stack: Skype-style UKF (default) or GCC-style
+  /// delay-gradient. With `kwikr` set, the UKF stack applies the Equation-3
+  /// modulation and the GCC stack subtracts Tc from the delay signal.
+  rtc::MediaReceiver::Adaptation adaptation =
+      rtc::MediaReceiver::Adaptation::kUkfConservative;
+};
+
+struct ExperimentConfig {
+  std::uint64_t seed = 1;
+  sim::Duration duration = sim::Seconds(180);
+
+  // Wi-Fi environment.
+  wifi::Band band = wifi::Band::k2_4GHz;
+  bool wmm_enabled = true;
+  std::int64_t client_rate_bps = 26'000'000;  ///< client MCS rate.
+  /// AP Best-Effort downlink queue depth (frames) — the bufferbloat knob.
+  std::size_t be_queue_capacity = 150;
+
+  // Cross traffic (0 stations = none).
+  int cross_stations = 2;
+  int flows_per_station = 20;
+  sim::Time congestion_start = sim::Seconds(60);
+  sim::Time congestion_end = sim::Seconds(120);
+
+  // Always-on foreground TCP flow on its own station (Figure 1).
+  bool foreground_tcp = false;
+
+  // Token-bucket throttle on the wired downlink (Figure 9). 0 = none.
+  std::int64_t throttle_bps = 0;
+  sim::Time throttle_start = 0;
+  sim::Time throttle_end = 0;
+
+  // Probing.
+  sim::Duration probe_interval = sim::Millis(500);
+  bool dual_ping_pair = false;
+  core::MeasurementMode measurement_mode =
+      core::MeasurementMode::kArrivalTimes;
+
+  // Ground-truth sampling of the AP Best-Effort downlink queue.
+  bool sample_queue = false;
+  sim::Duration queue_sample_interval = sim::Millis(10);
+
+  // The calls sharing this environment (usually one; two for Table 2).
+  std::vector<CallConfig> calls = {CallConfig{}};
+};
+
+/// Per-call outcome.
+struct CallMetrics {
+  std::vector<double> rate_series_kbps;  ///< received kbps per second.
+  double mean_rate_kbps = 0.0;           ///< over the whole call.
+  double mean_rate_congested_kbps = 0.0; ///< within the congestion window.
+  std::vector<double> rtt_ms;            ///< sender-side RTT samples.
+  double loss_pct = 0.0;
+  /// Share of packets that missed their playout deadline (jitter buffer).
+  double late_frame_pct = 0.0;
+  std::vector<core::PingPairSample> probe_samples;
+  core::PingPairStats probe_stats;
+};
+
+/// Whole-experiment outcome.
+struct ExperimentMetrics {
+  std::vector<CallMetrics> calls;
+  std::vector<double> tcp_rate_series_kbps;  ///< foreground TCP, per second.
+  std::vector<std::size_t> queue_samples;    ///< BE queue depth series.
+  double channel_busy_fraction = 0.0;
+  std::int64_t cross_traffic_bytes = 0;
+};
+
+/// Builds the testbed, runs the experiment to completion and returns the
+/// metrics. Deterministic in `config.seed`.
+ExperimentMetrics RunCallExperiment(const ExperimentConfig& config);
+
+}  // namespace kwikr::scenario

@@ -1,0 +1,132 @@
+#include "scenario/wild_population.h"
+
+#include <algorithm>
+
+#include "sim/rng.h"
+#include "stats/percentile.h"
+#include "stats/welch.h"
+#include "wifi/rate_table.h"
+
+namespace kwikr::scenario {
+namespace {
+
+/// Draws one random Wi-Fi environment. The marginals are chosen so that most
+/// calls see little or no cross traffic while a tail sees heavy congestion —
+/// the shape Figure 10 reports from production.
+ExperimentConfig DrawEnvironment(sim::Rng& rng, const WildConfig& wild,
+                                 std::uint64_t seed) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.duration = wild.call_duration;
+  config.band = rng.Bernoulli(0.5) ? wifi::Band::k2_4GHz : wifi::Band::k5GHz;
+  config.wmm_enabled = rng.Bernoulli(wild.wmm_probability);
+
+  const auto rates = wifi::McsRates(config.band);
+  const auto mcs = static_cast<std::size_t>(
+      rng.UniformInt(2, static_cast<std::int64_t>(rates.size()) - 1));
+  config.client_rate_bps = rates[mcs];
+
+  // ~40% of calls see no cross traffic at all.
+  if (rng.Bernoulli(0.4)) {
+    config.cross_stations = 0;
+  } else {
+    config.cross_stations = static_cast<int>(rng.UniformInt(1, 3));
+    config.flows_per_station = static_cast<int>(rng.UniformInt(1, 12));
+    // A congestion episode covering a random chunk of the call. The paper's
+    // production calls average 967 s with episodes being a small fraction;
+    // shorter simulated calls use a modest fraction for the same reason.
+    const double len_frac = rng.Uniform(0.15, 0.5);
+    const double start_frac = rng.Uniform(0.05, 0.9 - len_frac * 0.9);
+    config.congestion_start = static_cast<sim::Time>(
+        start_frac * static_cast<double>(wild.call_duration));
+    config.congestion_end = static_cast<sim::Time>(
+        (start_frac + len_frac) * static_cast<double>(wild.call_duration));
+  }
+  config.calls = {CallConfig{}};
+  return config;
+}
+
+double SamplePercentileMs(const std::vector<core::PingPairSample>& samples,
+                          double p, sim::Duration core::PingPairSample::*field) {
+  std::vector<double> ms;
+  ms.reserve(samples.size());
+  for (const auto& s : samples) ms.push_back(sim::ToMillis(s.*field));
+  return stats::Percentile(ms, p);
+}
+
+}  // namespace
+
+WildResults RunWildPopulation(const WildConfig& config) {
+  WildResults results;
+  results.calls.reserve(config.calls);
+  sim::Rng env_rng(config.base_seed);
+
+  for (int i = 0; i < config.calls; ++i) {
+    const std::uint64_t call_seed = env_rng.Next();
+    ExperimentConfig experiment =
+        DrawEnvironment(env_rng, config, call_seed);
+
+    // Paired A/B under common random numbers: the environment (seed,
+    // topology, congestion schedule) is identical; only the adaptation arm
+    // differs.
+    experiment.calls[0].kwikr = false;
+    const ExperimentMetrics baseline = RunCallExperiment(experiment);
+    experiment.calls[0].kwikr = true;
+    const ExperimentMetrics kwikr = RunCallExperiment(experiment);
+
+    WildCallResult r;
+    const CallMetrics& b = baseline.calls[0];
+    const CallMetrics& k = kwikr.calls[0];
+    r.p95_tq_ms = SamplePercentileMs(k.probe_samples, 95.0,
+                                     &core::PingPairSample::tq);
+    r.p95_ta_ms = SamplePercentileMs(k.probe_samples, 95.0,
+                                     &core::PingPairSample::ta);
+    r.p95_tc_ms = SamplePercentileMs(k.probe_samples, 95.0,
+                                     &core::PingPairSample::tc);
+    r.probe_samples = static_cast<int>(k.probe_samples.size());
+    r.baseline_rate_kbps = b.mean_rate_kbps;
+    r.kwikr_rate_kbps = k.mean_rate_kbps;
+    r.baseline_loss_pct = b.loss_pct;
+    r.kwikr_loss_pct = k.loss_pct;
+    r.baseline_rtt_p50_ms = stats::Percentile(b.rtt_ms, 50.0);
+    r.kwikr_rtt_p50_ms = stats::Percentile(k.rtt_ms, 50.0);
+    r.wmm_enabled = experiment.wmm_enabled;
+    r.cross_stations = experiment.cross_stations;
+    results.calls.push_back(r);
+  }
+  return results;
+}
+
+AbBucketRow ComputeAbBucket(const WildResults& results, double threshold_ms) {
+  AbBucketRow row;
+  row.threshold_ms = threshold_ms;
+  std::vector<double> baseline;
+  std::vector<double> kwikr;
+  for (const auto& call : results.calls) {
+    if (call.p95_tc_ms >= threshold_ms) {
+      baseline.push_back(call.baseline_rate_kbps);
+      kwikr.push_back(call.kwikr_rate_kbps);
+    }
+  }
+  row.calls_in_bucket = static_cast<int>(baseline.size());
+  if (results.calls.empty() || baseline.empty()) return row;
+  row.percent_calls_covered = 100.0 * static_cast<double>(baseline.size()) /
+                              static_cast<double>(results.calls.size());
+
+  const stats::TestResult welch = stats::WelchTTestGreater(kwikr, baseline);
+  if (welch.mean_b > 0.0) {
+    row.avg_gain_percent = 100.0 * (welch.mean_a - welch.mean_b) /
+                           welch.mean_b;
+  }
+  row.avg_gain_p_value = welch.p_value;
+
+  const double median_b = stats::Percentile(baseline, 50.0);
+  const double median_k = stats::Percentile(kwikr, 50.0);
+  if (median_b > 0.0) {
+    row.median_gain_percent = 100.0 * (median_k - median_b) / median_b;
+  }
+  row.median_gain_p_value = stats::MannWhitneyUGreater(kwikr, baseline).p_value;
+  return row;
+}
+
+}  // namespace kwikr::scenario

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/call_experiment.h"
+
+namespace kwikr::scenario {
+
+/// Monte-Carlo stand-in for the paper's production A/B deployment
+/// (Section 8.4): a heterogeneous population of Wi-Fi environments, each
+/// hosting one paired pair of calls (baseline and Kwikr) under common random
+/// numbers. Reproduces Figure 10 (wild downlink-delay distribution) and
+/// Table 3 (bandwidth gains bucketed by cross-traffic-induced delay).
+struct WildConfig {
+  int calls = 200;              ///< population size (paper: 119,789).
+  std::uint64_t base_seed = 42;
+  sim::Duration call_duration = sim::Seconds(60);  ///< paper mean: 967 s.
+  /// Probability an AP supports WMM (paper's measured prevalence: 77%).
+  double wmm_probability = 0.77;
+};
+
+/// Outcome of one environment (paired calls).
+struct WildCallResult {
+  // Per-call 95th-percentile Ping-Pair delay decomposition, milliseconds
+  // (measured on the Kwikr arm, which runs the probing in production).
+  double p95_tq_ms = 0.0;
+  double p95_ta_ms = 0.0;  ///< delay due to the call itself ("Skype").
+  double p95_tc_ms = 0.0;  ///< delay due to cross-traffic.
+  int probe_samples = 0;
+
+  double baseline_rate_kbps = 0.0;
+  double kwikr_rate_kbps = 0.0;
+  double baseline_loss_pct = 0.0;
+  double kwikr_loss_pct = 0.0;
+  double baseline_rtt_p50_ms = 0.0;
+  double kwikr_rtt_p50_ms = 0.0;
+
+  bool wmm_enabled = false;
+  int cross_stations = 0;
+};
+
+struct WildResults {
+  std::vector<WildCallResult> calls;
+};
+
+/// Runs the population; deterministic in `config.base_seed`.
+WildResults RunWildPopulation(const WildConfig& config);
+
+/// One row of Table 3: calls whose p95 cross-traffic delay is at least
+/// `threshold_ms`, with the average/median bandwidth gain and significance.
+struct AbBucketRow {
+  double threshold_ms = 0.0;
+  double percent_calls_covered = 0.0;
+  double avg_gain_percent = 0.0;
+  double avg_gain_p_value = 1.0;     ///< one-sided Welch t-test.
+  double median_gain_percent = 0.0;
+  double median_gain_p_value = 1.0;  ///< one-sided Mann-Whitney U.
+  int calls_in_bucket = 0;
+};
+
+AbBucketRow ComputeAbBucket(const WildResults& results, double threshold_ms);
+
+}  // namespace kwikr::scenario

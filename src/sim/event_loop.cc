@@ -1,0 +1,85 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kwikr::sim {
+
+EventId EventLoop::ScheduleAt(Time at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(at, now_), id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+EventId EventLoop::ScheduleIn(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + std::max<Duration>(delay, 0), std::move(fn));
+}
+
+bool EventLoop::Cancel(EventId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  live_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventLoop::PopAndRun() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(event.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    live_.erase(event.id);
+    now_ = event.at;
+    ++executed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::Run() {
+  while (PopAndRun()) {
+  }
+}
+
+void EventLoop::RunUntil(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (!PopAndRun()) break;
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void EventLoop::RunFor(Duration duration) { RunUntil(now_ + duration); }
+
+bool EventLoop::Step() { return PopAndRun(); }
+
+PeriodicTimer::PeriodicTimer(EventLoop& loop, Duration period,
+                             std::function<void()> fn)
+    : loop_(loop), period_(period), fn_(std::move(fn)) {}
+
+PeriodicTimer::~PeriodicTimer() { Stop(); }
+
+void PeriodicTimer::Start(Duration initial_delay) {
+  Stop();
+  running_ = true;
+  pending_ = loop_.ScheduleIn(initial_delay, [this] { Fire(); });
+}
+
+void PeriodicTimer::Stop() {
+  if (pending_ != 0) {
+    loop_.Cancel(pending_);
+    pending_ = 0;
+  }
+  running_ = false;
+}
+
+void PeriodicTimer::Fire() {
+  pending_ = loop_.ScheduleIn(period_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace kwikr::sim

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace kwikr::sim {
+
+/// Handle to a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete-event loop.
+///
+/// Events at the same tick run in scheduling (FIFO) order, which keeps
+/// back-to-back operations like the Ping-Pair's two sends well-defined.
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now()).
+  EventId ScheduleAt(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (clamped to non-negative).
+  EventId ScheduleIn(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already ran / was
+  /// cancelled / never existed.
+  bool Cancel(EventId id);
+
+  /// Runs events until the queue is empty.
+  void Run();
+
+  /// Runs events with time <= deadline, then advances the clock to deadline.
+  void RunUntil(Time deadline);
+
+  /// Runs for `duration` past the current time.
+  void RunFor(Duration duration);
+
+  /// Executes at most one pending event; returns false if queue is empty.
+  bool Step();
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+  /// Total events executed (for micro-benchmarks).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  bool PopAndRun();
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;
+};
+
+/// Repeating timer built on EventLoop. Fires first after `period` (or a
+/// custom initial delay) and then every `period` until stopped or destroyed.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(EventLoop& loop, Duration period, std::function<void()> fn);
+  ~PeriodicTimer();
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts (or restarts) the timer; first firing after `initial_delay`.
+  void Start(Duration initial_delay);
+  void Start() { Start(period_); }
+  void Stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void Fire();
+
+  EventLoop& loop_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace kwikr::sim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kwikr::sim {
+
+/// Deterministic pseudo-random generator (xoshiro256**). All stochastic
+/// behaviour in the simulator draws from explicitly passed Rng instances so
+/// that identical seeds reproduce identical traces — the common-random-number
+/// pairing used by the A/B scenarios depends on this.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double Normal(double mean, double stddev);
+
+  /// Derives an independent child generator (for per-entity streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace kwikr::sim

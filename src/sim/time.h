@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kwikr::sim {
+
+/// Simulated time and durations, in integer nanoseconds since simulation
+/// start. Integer ticks keep the event loop exactly deterministic and make
+/// microsecond-scale 802.11 timing (9 us slots, 16 us SIFS) representable
+/// without rounding.
+using Time = std::int64_t;
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration Nanos(std::int64_t n) { return n; }
+constexpr Duration Micros(std::int64_t us) { return us * kMicrosecond; }
+constexpr Duration Millis(std::int64_t ms) { return ms * kMillisecond; }
+constexpr Duration Seconds(std::int64_t s) { return s * kSecond; }
+
+/// Converts a double value in seconds to ticks (rounded to nearest).
+constexpr Duration FromSeconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double ToMicros(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Duration of `bits` transmitted at `bits_per_second` (rounded up: a partial
+/// tick still occupies the channel).
+constexpr Duration TransmissionTime(std::int64_t bits,
+                                    std::int64_t bits_per_second) {
+  if (bits_per_second <= 0) return 0;
+  // ticks = bits * kSecond / rate, rounded up.
+  const auto num = static_cast<__int128>(bits) * kSecond;
+  return static_cast<Duration>((num + bits_per_second - 1) / bits_per_second);
+}
+
+}  // namespace kwikr::sim

@@ -1,0 +1,68 @@
+#include "stats/confusion.h"
+
+#include <cstdio>
+
+namespace kwikr::stats {
+
+void ConfusionMatrix::Add(bool ground_truth_positive, bool predicted_positive) {
+  if (ground_truth_positive) {
+    if (predicted_positive) {
+      ++tp_;
+    } else {
+      ++fn_;
+    }
+  } else {
+    if (predicted_positive) {
+      ++fp_;
+    } else {
+      ++tn_;
+    }
+  }
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::int64_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tp_ + tn_) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::true_positive_rate() const {
+  const std::int64_t n = actual_positives();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tp_) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::true_negative_rate() const {
+  const std::int64_t n = actual_negatives();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tn_) / static_cast<double>(n);
+}
+
+void ConfusionMatrix::Merge(const ConfusionMatrix& other) {
+  tp_ += other.tp_;
+  tn_ += other.tn_;
+  fp_ += other.fp_;
+  fn_ += other.fn_;
+}
+
+std::string ConfusionMatrix::ToTableRows() const {
+  char buf[256];
+  std::string out;
+  const double tnr = 100.0 * true_negative_rate();
+  const double tpr = 100.0 * true_positive_rate();
+  std::snprintf(buf, sizeof(buf),
+                "Non-persistent %6lld | %6lld (%5.1f%%) | %6lld (%5.1f%%)\n",
+                static_cast<long long>(actual_negatives()),
+                static_cast<long long>(tn_), tnr,
+                static_cast<long long>(fp_), 100.0 - tnr);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "Persistent     %6lld | %6lld (%5.1f%%) | %6lld (%5.1f%%)\n",
+                static_cast<long long>(actual_positives()),
+                static_cast<long long>(fn_), 100.0 - tpr,
+                static_cast<long long>(tp_), tpr);
+  out += buf;
+  return out;
+}
+
+}  // namespace kwikr::stats

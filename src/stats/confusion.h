@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kwikr::stats {
+
+/// Binary confusion matrix for the paper's Table 1 ("persistent" vs
+/// "non-persistent" queue classification).
+///
+/// Convention: `positive` means *persistent congestion*.
+class ConfusionMatrix {
+ public:
+  void Add(bool ground_truth_positive, bool predicted_positive);
+
+  [[nodiscard]] std::int64_t true_positives() const { return tp_; }
+  [[nodiscard]] std::int64_t true_negatives() const { return tn_; }
+  [[nodiscard]] std::int64_t false_positives() const { return fp_; }
+  [[nodiscard]] std::int64_t false_negatives() const { return fn_; }
+
+  [[nodiscard]] std::int64_t actual_positives() const { return tp_ + fn_; }
+  [[nodiscard]] std::int64_t actual_negatives() const { return tn_ + fp_; }
+  [[nodiscard]] std::int64_t total() const { return tp_ + tn_ + fp_ + fn_; }
+
+  /// (TP + TN) / total; 0 when empty.
+  [[nodiscard]] double accuracy() const;
+  /// TP / (TP + FN); a.k.a. recall / sensitivity. 0 when no positives.
+  [[nodiscard]] double true_positive_rate() const;
+  /// TN / (TN + FP); specificity. 0 when no negatives.
+  [[nodiscard]] double true_negative_rate() const;
+
+  void Merge(const ConfusionMatrix& other);
+
+  /// Renders the two paper-style rows:
+  ///   Non-persistent  N  tn (x%)  fp (y%)
+  ///   Persistent      N  fn (x%)  tp (y%)
+  [[nodiscard]] std::string ToTableRows() const;
+
+ private:
+  std::int64_t tp_ = 0;
+  std::int64_t tn_ = 0;
+  std::int64_t fp_ = 0;
+  std::int64_t fn_ = 0;
+};
+
+}  // namespace kwikr::stats

@@ -1,0 +1,18 @@
+#pragma once
+
+namespace kwikr::stats {
+
+/// Regularized incomplete beta function I_x(a, b) via the continued-fraction
+/// expansion (Lentz's method). Domain: a, b > 0, x in [0, 1].
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+/// ln Gamma(x) for x > 0 (Lanczos approximation).
+double LogGamma(double x);
+
+}  // namespace kwikr::stats

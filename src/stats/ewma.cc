@@ -1,0 +1,26 @@
+#include "stats/ewma.h"
+
+#include <cassert>
+
+namespace kwikr::stats {
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+double Ewma::Update(double sample) {
+  if (!initialized_) {
+    value_ = sample;
+    initialized_ = true;
+  } else {
+    value_ += alpha_ * (sample - value_);
+  }
+  return value_;
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+}  // namespace kwikr::stats

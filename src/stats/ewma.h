@@ -1,0 +1,34 @@
+#pragma once
+
+namespace kwikr::stats {
+
+/// Exponentially weighted moving average.
+///
+/// The first observation initializes the average; subsequent observations are
+/// blended with weight `alpha` (higher alpha = faster tracking). This is the
+/// smoother applied to Ping-Pair queueing-delay estimates before they are fed
+/// to the bandwidth estimator (paper, Section 5.6 / Figure 4).
+class Ewma {
+ public:
+  /// @param alpha blend weight in (0, 1].
+  explicit Ewma(double alpha);
+
+  /// Folds in one observation and returns the updated average.
+  double Update(double sample);
+
+  /// Current smoothed value; 0.0 until the first Update().
+  [[nodiscard]] double value() const { return value_; }
+
+  /// True once at least one sample has been folded in.
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+  /// Forgets all state.
+  void Reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace kwikr::stats

@@ -1,0 +1,69 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kwikr::stats {
+namespace {
+
+double InterpolateSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double Percentile(std::span<const double> samples, double p) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return InterpolateSorted(sorted, p);
+}
+
+std::vector<double> Percentiles(std::span<const double> samples,
+                                std::span<const double> ps) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(InterpolateSorted(sorted, p));
+  return out;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::At(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double p) const {
+  return InterpolateSorted(sorted_, p);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (sorted_.empty() || points == 0) return curve;
+  const std::size_t step = std::max<std::size_t>(1, sorted_.size() / points);
+  for (std::size_t i = 0; i < sorted_.size(); i += step) {
+    curve.emplace_back(sorted_[i], static_cast<double>(i + 1) /
+                                       static_cast<double>(sorted_.size()));
+  }
+  if (curve.back().second < 1.0) {
+    curve.emplace_back(sorted_.back(), 1.0);
+  }
+  return curve;
+}
+
+}  // namespace kwikr::stats

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace kwikr::stats {
+
+/// Returns the p-th percentile (p in [0, 100]) of `samples` using linear
+/// interpolation between closest ranks. An empty input returns 0.0.
+double Percentile(std::span<const double> samples, double p);
+
+/// Convenience: several percentiles of one sample set, sorted once.
+std::vector<double> Percentiles(std::span<const double> samples,
+                                std::span<const double> ps);
+
+/// An empirical CDF: sorted (value, cumulative-fraction) points suitable for
+/// printing the paper's CDF figures (e.g. Figure 8(b)).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double At(double x) const;
+
+  /// p-th percentile, p in [0, 100].
+  [[nodiscard]] double Quantile(double p) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Evenly spaced (value, fraction) rows for plotting; at most `points`.
+  [[nodiscard]] std::vector<std::pair<double, double>> Curve(
+      std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace kwikr::stats

@@ -1,0 +1,78 @@
+#include "stats/stump.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace kwikr::stats {
+namespace {
+
+double AccuracyAt(const std::vector<LabelledSample>& data, double threshold) {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& s : data) {
+    if ((s.feature > threshold) == s.positive) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+DecisionStump DecisionStump::Train(const std::vector<LabelledSample>& data) {
+  if (data.empty()) return DecisionStump{0.0};
+  std::vector<double> features;
+  features.reserve(data.size());
+  for (const auto& s : data) features.push_back(s.feature);
+  std::sort(features.begin(), features.end());
+  features.erase(std::unique(features.begin(), features.end()),
+                 features.end());
+
+  // Candidates: below the minimum, midpoints, above the maximum.
+  std::vector<double> candidates;
+  candidates.reserve(features.size() + 1);
+  candidates.push_back(features.front() - 1.0);
+  for (std::size_t i = 0; i + 1 < features.size(); ++i) {
+    candidates.push_back((features[i] + features[i + 1]) / 2.0);
+  }
+  candidates.push_back(features.back() + 1.0);
+
+  double best_threshold = candidates.front();
+  double best_accuracy = -1.0;
+  for (double t : candidates) {
+    const double acc = AccuracyAt(data, t);
+    if (acc > best_accuracy) {
+      best_accuracy = acc;
+      best_threshold = t;
+    }
+  }
+  return DecisionStump{best_threshold};
+}
+
+CrossValidationResult CrossValidateStump(
+    const std::vector<LabelledSample>& data, std::size_t folds) {
+  CrossValidationResult result;
+  if (data.empty() || folds < 2) {
+    result.final_stump = DecisionStump::Train(data);
+    return result;
+  }
+  folds = std::min(folds, data.size());
+  double accuracy_sum = 0.0;
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    std::vector<LabelledSample> train;
+    std::vector<LabelledSample> test;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (i % folds == fold) {
+        test.push_back(data[i]);
+      } else {
+        train.push_back(data[i]);
+      }
+    }
+    const DecisionStump stump = DecisionStump::Train(train);
+    result.fold_thresholds.push_back(stump.threshold());
+    accuracy_sum += AccuracyAt(test, stump.threshold());
+  }
+  result.mean_accuracy = accuracy_sum / static_cast<double>(folds);
+  result.final_stump = DecisionStump::Train(data);
+  return result;
+}
+
+}  // namespace kwikr::stats

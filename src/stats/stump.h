@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kwikr::stats {
+
+/// A labelled scalar sample for threshold training.
+struct LabelledSample {
+  double feature = 0.0;  ///< e.g. a Ping-Pair delay estimate in ms.
+  bool positive = false; ///< ground truth (e.g. persistent queue).
+};
+
+/// A one-split decision tree ("decision stump"): predicts positive when
+/// feature > threshold. This is the classifier the paper trains with 10-fold
+/// cross-validation to obtain the 5 ms Ping-Pair congestion threshold
+/// (Section 8.1 / Table 1).
+class DecisionStump {
+ public:
+  DecisionStump() = default;
+  explicit DecisionStump(double threshold) : threshold_(threshold) {}
+
+  [[nodiscard]] bool Predict(double feature) const {
+    return feature > threshold_;
+  }
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+  /// Trains the accuracy-optimal threshold on `data`. Candidate thresholds
+  /// are midpoints between adjacent distinct feature values. Ties are broken
+  /// toward the smallest threshold.
+  static DecisionStump Train(const std::vector<LabelledSample>& data);
+
+ private:
+  double threshold_ = 0.0;
+};
+
+/// Result of k-fold cross-validation of a decision stump.
+struct CrossValidationResult {
+  double mean_accuracy = 0.0;       ///< mean held-out accuracy across folds.
+  std::vector<double> fold_thresholds;  ///< threshold trained in each fold.
+  DecisionStump final_stump;        ///< stump trained on the full data set.
+};
+
+/// Runs k-fold CV (deterministic interleaved fold assignment) and then trains
+/// the final stump on all data, as the paper does for Table 1.
+CrossValidationResult CrossValidateStump(
+    const std::vector<LabelledSample>& data, std::size_t folds);
+
+}  // namespace kwikr::stats

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kwikr::stats {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// Used everywhere a bench or scenario needs `mean ± CI` rows (e.g. the
+/// paper's Table 2 co-existence data rates, Figures 6/7 error bars).
+class RunningSummary {
+ public:
+  void Add(double sample);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double stderror() const;
+  /// Half-width of the 95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  void Reset();
+
+  /// Merges another summary into this one (parallel reduction).
+  void Merge(const RunningSummary& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace kwikr::stats

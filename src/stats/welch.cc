@@ -1,0 +1,169 @@
+#include "stats/welch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/summary.h"
+
+namespace kwikr::stats {
+namespace {
+
+struct WelchCore {
+  double t = 0.0;
+  double df = 1.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  bool valid = false;
+};
+
+WelchCore ComputeWelch(std::span<const double> a, std::span<const double> b) {
+  WelchCore core;
+  if (a.size() < 2 || b.size() < 2) return core;
+  RunningSummary sa;
+  RunningSummary sb;
+  for (double x : a) sa.Add(x);
+  for (double x : b) sb.Add(x);
+  const double va = sa.variance() / static_cast<double>(a.size());
+  const double vb = sb.variance() / static_cast<double>(b.size());
+  core.mean_a = sa.mean();
+  core.mean_b = sb.mean();
+  if (va + vb <= 0.0) {
+    // Degenerate: zero variance. Identical means => no evidence; otherwise
+    // treat as infinitely significant.
+    core.t = (core.mean_a == core.mean_b) ? 0.0
+             : (core.mean_a > core.mean_b ? 1e9 : -1e9);
+    core.df = static_cast<double>(a.size() + b.size() - 2);
+    core.valid = true;
+    return core;
+  }
+  core.t = (core.mean_a - core.mean_b) / std::sqrt(va + vb);
+  const double num = (va + vb) * (va + vb);
+  const double den = va * va / static_cast<double>(a.size() - 1) +
+                     vb * vb / static_cast<double>(b.size() - 1);
+  core.df = den > 0.0 ? num / den
+                      : static_cast<double>(a.size() + b.size() - 2);
+  core.valid = true;
+  return core;
+}
+
+struct MannWhitneyCore {
+  double z = 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  bool valid = false;
+};
+
+MannWhitneyCore ComputeMannWhitney(std::span<const double> a,
+                                   std::span<const double> b) {
+  MannWhitneyCore core;
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+  if (n1 == 0 || n2 == 0) return core;
+
+  RunningSummary sa;
+  RunningSummary sb;
+  for (double x : a) sa.Add(x);
+  for (double x : b) sb.Add(x);
+  core.mean_a = sa.mean();
+  core.mean_b = sb.mean();
+
+  // Rank the pooled samples, averaging ranks over ties.
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(n1 + n2);
+  for (double x : a) pooled.push_back({x, true});
+  for (double x : b) pooled.push_back({x, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& l, const Tagged& r) { return l.value < r.value; });
+
+  const double n = static_cast<double>(n1 + n2);
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j + 1 < pooled.size() && pooled[j + 1].value == pooled[i].value) {
+      ++j;
+    }
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j + 1)) / 2.0;
+    const double tie_size = static_cast<double>(j - i + 1);
+    if (tie_size > 1.0) {
+      tie_correction += tie_size * tie_size * tie_size - tie_size;
+    }
+    for (std::size_t k = i; k <= j; ++k) {
+      if (pooled[k].from_a) rank_sum_a += avg_rank;
+    }
+    i = j + 1;
+  }
+
+  const double u_a = rank_sum_a - static_cast<double>(n1) *
+                                      (static_cast<double>(n1) + 1.0) / 2.0;
+  const double mu = static_cast<double>(n1) * static_cast<double>(n2) / 2.0;
+  const double sigma2 =
+      static_cast<double>(n1) * static_cast<double>(n2) / 12.0 *
+      ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  if (sigma2 <= 0.0) return core;
+  // Continuity correction toward the mean.
+  const double cc = u_a > mu ? -0.5 : (u_a < mu ? 0.5 : 0.0);
+  core.z = (u_a - mu + cc) / std::sqrt(sigma2);
+  core.valid = true;
+  return core;
+}
+
+}  // namespace
+
+TestResult WelchTTest(std::span<const double> a, std::span<const double> b) {
+  const WelchCore core = ComputeWelch(a, b);
+  TestResult result;
+  result.mean_a = core.mean_a;
+  result.mean_b = core.mean_b;
+  if (!core.valid) return result;
+  result.statistic = core.t;
+  result.df = core.df;
+  result.p_value = 2.0 * (1.0 - StudentTCdf(std::fabs(core.t), core.df));
+  return result;
+}
+
+TestResult WelchTTestGreater(std::span<const double> a,
+                             std::span<const double> b) {
+  const WelchCore core = ComputeWelch(a, b);
+  TestResult result;
+  result.mean_a = core.mean_a;
+  result.mean_b = core.mean_b;
+  if (!core.valid) return result;
+  result.statistic = core.t;
+  result.df = core.df;
+  result.p_value = 1.0 - StudentTCdf(core.t, core.df);
+  return result;
+}
+
+TestResult MannWhitneyU(std::span<const double> a, std::span<const double> b) {
+  const MannWhitneyCore core = ComputeMannWhitney(a, b);
+  TestResult result;
+  result.mean_a = core.mean_a;
+  result.mean_b = core.mean_b;
+  if (!core.valid) return result;
+  result.statistic = core.z;
+  result.p_value = 2.0 * (1.0 - NormalCdf(std::fabs(core.z)));
+  return result;
+}
+
+TestResult MannWhitneyUGreater(std::span<const double> a,
+                               std::span<const double> b) {
+  const MannWhitneyCore core = ComputeMannWhitney(a, b);
+  TestResult result;
+  result.mean_a = core.mean_a;
+  result.mean_b = core.mean_b;
+  if (!core.valid) return result;
+  result.statistic = core.z;
+  result.p_value = 1.0 - NormalCdf(core.z);
+  return result;
+}
+
+}  // namespace kwikr::stats

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+
+namespace kwikr::stats {
+
+/// Result of a two-sample location test.
+struct TestResult {
+  double statistic = 0.0;   ///< t (Welch) or z (Mann-Whitney) statistic.
+  double p_value = 1.0;     ///< two-sided unless noted by the caller.
+  double df = 0.0;          ///< Welch-Satterthwaite degrees of freedom.
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+};
+
+/// Welch's unequal-variance t-test on two independent samples. Used for the
+/// Table 3 significance columns. Two-sided p-value.
+TestResult WelchTTest(std::span<const double> a, std::span<const double> b);
+
+/// One-sided Welch test of H1: mean(a) > mean(b). Matches the paper's framing
+/// "gain in bandwidth ... (p-value)".
+TestResult WelchTTestGreater(std::span<const double> a,
+                             std::span<const double> b);
+
+/// Mann-Whitney U test (normal approximation with tie correction),
+/// two-sided. Robust check on medians for skewed bandwidth distributions.
+TestResult MannWhitneyU(std::span<const double> a, std::span<const double> b);
+
+/// One-sided Mann-Whitney: H1 is "a stochastically greater than b". Used for
+/// the paper's *median* gain significance in Table 3.
+TestResult MannWhitneyUGreater(std::span<const double> a,
+                               std::span<const double> b);
+
+}  // namespace kwikr::stats

@@ -1,0 +1,90 @@
+#include "trace/trace.h"
+
+#include <cinttypes>
+#include <utility>
+
+namespace kwikr::trace {
+
+void Recorder::Record(sim::Time at, std::string type,
+                      std::vector<std::pair<std::string, double>> fields) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{at, std::move(type), std::move(fields)});
+}
+
+void Recorder::AttachProber(core::PingPairProber& prober) {
+  prober.AddSampleCallback([this](const core::PingPairSample& s) {
+    Record(s.completed_at, "ping_pair",
+           {{"tq_ms", sim::ToMillis(s.tq)},
+            {"ta_ms", sim::ToMillis(s.ta)},
+            {"tc_ms", sim::ToMillis(s.tc)},
+            {"sandwiched", static_cast<double>(s.sandwiched)},
+            {"max_tx", static_cast<double>(s.max_reply_transmissions)}});
+  });
+}
+
+void Recorder::AttachAdapter(core::KwikrAdapter& adapter) {
+  adapter.AddHintCallback([this](const core::WifiHint& hint) {
+    Record(hint.at, "congestion_hint",
+           {{"congested", hint.congested ? 1.0 : 0.0},
+            {"tq_ms", sim::ToMillis(hint.tq)},
+            {"tc_ms", sim::ToMillis(hint.tc)},
+            {"smoothed_tq_ms", hint.smoothed_tq_ms},
+            {"smoothed_tc_ms", hint.smoothed_tc_ms}});
+  });
+}
+
+void Recorder::AttachLinkQuality(core::LinkQualityDetector& detector) {
+  detector.AddHintCallback([this](const core::LinkQualityHint& hint) {
+    Record(hint.at, "link_quality",
+           {{"degraded", hint.degraded ? 1.0 : 0.0},
+            {"avg_rate_mbps", hint.avg_rate_bps / 1e6},
+            {"retry_fraction", hint.retry_fraction}});
+  });
+}
+
+void Recorder::SampleReceiver(sim::Time at,
+                              const rtc::MediaReceiver& receiver) {
+  Record(at, "receiver",
+         {{"target_kbps",
+           static_cast<double>(receiver.target_rate_bps()) / 1000.0},
+          {"estimate_kbps", receiver.estimator().bandwidth_bps() / 1000.0},
+          {"self_delay_ms",
+           receiver.estimator().self_queueing_delay_s() * 1000.0},
+          {"loss_pct", receiver.loss_fraction() * 100.0}});
+}
+
+std::string Recorder::ToJson(const Event& event) {
+  char buffer[128];
+  std::string json = "{\"t_s\":";
+  std::snprintf(buffer, sizeof(buffer), "%.6f", sim::ToSeconds(event.at));
+  json += buffer;
+  json += ",\"type\":\"";
+  json += event.type;
+  json += "\"";
+  for (const auto& [key, value] : event.fields) {
+    json += ",\"";
+    json += key;
+    json += "\":";
+    std::snprintf(buffer, sizeof(buffer), "%g", value);
+    json += buffer;
+  }
+  json += "}";
+  return json;
+}
+
+bool Recorder::WriteJsonl(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  for (const auto& event : events_) {
+    const std::string line = ToJson(event);
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace kwikr::trace

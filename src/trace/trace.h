@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/kwikr.h"
+#include "core/link_quality.h"
+#include "core/ping_pair.h"
+#include "rtc/media.h"
+#include "sim/time.h"
+
+namespace kwikr::trace {
+
+/// One recorded event: a timestamp, a type tag, and key/value fields.
+struct Event {
+  sim::Time at = 0;
+  std::string type;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// In-memory event recorder with JSONL export. Components are attached via
+/// their existing callback hooks, so tracing is zero-cost when unused and
+/// needs no instrumentation inside the library.
+///
+///   trace::Recorder recorder;
+///   recorder.AttachProber(prober);      // ping-pair samples
+///   recorder.AttachAdapter(adapter);    // congestion hints
+///   ... run ...
+///   recorder.WriteJsonl("call_trace.jsonl");
+class Recorder {
+ public:
+  explicit Recorder(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  /// Records a custom event.
+  void Record(sim::Time at, std::string type,
+              std::vector<std::pair<std::string, double>> fields);
+
+  /// Subscribes to a Ping-Pair prober's samples ("ping_pair" events with
+  /// tq/ta/tc in ms and the sandwiched count).
+  void AttachProber(core::PingPairProber& prober);
+
+  /// Subscribes to a Kwikr adapter's hints ("congestion_hint" events).
+  void AttachAdapter(core::KwikrAdapter& adapter);
+
+  /// Subscribes to a link-quality detector ("link_quality" events).
+  void AttachLinkQuality(core::LinkQualityDetector& detector);
+
+  /// Samples a media receiver's state ("receiver" events) — call this from
+  /// a periodic timer at whatever cadence you need.
+  void SampleReceiver(sim::Time at, const rtc::MediaReceiver& receiver);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// Writes events as JSON Lines; returns false when the file can't be
+  /// opened.
+  bool WriteJsonl(const std::string& path) const;
+
+  /// Serializes one event to a JSON object string (exposed for tests).
+  static std::string ToJson(const Event& event);
+
+ private:
+  std::size_t max_events_;
+  std::vector<Event> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace kwikr::trace

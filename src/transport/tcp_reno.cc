@@ -1,0 +1,207 @@
+#include "transport/tcp_reno.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace kwikr::transport {
+
+TcpRenoSender::TcpRenoSender(sim::EventLoop& loop, net::FlowId flow,
+                             net::Address src, net::Address dst,
+                             net::PacketIdAllocator& ids, SendFn send,
+                             Config config)
+    : loop_(loop),
+      flow_(flow),
+      src_(src),
+      dst_(dst),
+      ids_(ids),
+      send_(std::move(send)),
+      config_(config),
+      cwnd_(config.initial_cwnd) {}
+
+TcpRenoSender::TcpRenoSender(sim::EventLoop& loop, net::FlowId flow,
+                             net::Address src, net::Address dst,
+                             net::PacketIdAllocator& ids, SendFn send)
+    : TcpRenoSender(loop, flow, src, dst, ids, std::move(send), Config{}) {}
+
+TcpRenoSender::~TcpRenoSender() { Stop(); }
+
+void TcpRenoSender::Start() {
+  running_ = true;
+  TrySend();
+}
+
+void TcpRenoSender::Stop() {
+  running_ = false;
+  if (rto_event_ != 0) {
+    loop_.Cancel(rto_event_);
+    rto_event_ = 0;
+  }
+}
+
+void TcpRenoSender::TrySend() {
+  if (!running_) return;
+  const auto window = static_cast<std::int64_t>(cwnd_);
+  const std::int64_t in_flight = next_seq_ - high_ack_;
+  std::int64_t budget =
+      std::min(window, config_.max_in_flight) - in_flight;
+  while (budget > 0) {
+    SendSegment(next_seq_, /*retransmission=*/false);
+    ++next_seq_;
+    --budget;
+  }
+}
+
+void TcpRenoSender::SendSegment(std::int64_t seq, bool retransmission) {
+  net::Packet packet;
+  packet.id = ids_.Next();
+  packet.protocol = net::Protocol::kTcp;
+  packet.src = src_;
+  packet.dst = dst_;
+  packet.flow = flow_;
+  packet.size_bytes = config_.mss_bytes + config_.header_bytes;
+  packet.created_at = loop_.now();
+  packet.tcp.seq = seq;
+  packet.tcp.is_ack = false;
+
+  if (retransmission) {
+    ++retransmissions_;
+    // Karn's rule: never time a retransmitted segment.
+    if (rtt_probe_seq_ == seq) rtt_probe_seq_ = -1;
+  } else if (rtt_probe_seq_ < 0) {
+    rtt_probe_seq_ = seq;
+    rtt_probe_sent_ = loop_.now();
+  }
+
+  send_(std::move(packet));
+  if (rto_event_ == 0) ArmRto();
+}
+
+void TcpRenoSender::ArmRto() {
+  if (rto_event_ != 0) loop_.Cancel(rto_event_);
+  const sim::Duration timeout =
+      std::min(config_.max_rto, rto_ << rto_backoff_);
+  rto_event_ = loop_.ScheduleIn(timeout, [this] {
+    rto_event_ = 0;
+    OnRto();
+  });
+}
+
+void TcpRenoSender::OnRto() {
+  if (!running_) return;
+  if (next_seq_ == high_ack_) return;  // nothing outstanding.
+  ++timeouts_;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  in_fast_recovery_ = false;
+  next_seq_ = high_ack_;  // go-back-N from the hole.
+  rto_backoff_ = std::min(rto_backoff_ + 1, 4);
+  SendSegment(next_seq_, /*retransmission=*/true);
+  ++next_seq_;
+  ArmRto();
+}
+
+void TcpRenoSender::EnterFastRecovery() {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = ssthresh_ + 3.0;
+  in_fast_recovery_ = true;
+  recovery_point_ = next_seq_;
+  SendSegment(high_ack_, /*retransmission=*/true);
+}
+
+void TcpRenoSender::OnAck(const net::Packet& ack) {
+  if (!running_) return;
+  if (!ack.tcp.is_ack || ack.flow != flow_) return;
+  const std::int64_t ack_seq = ack.tcp.ack;
+
+  if (ack_seq > high_ack_) {
+    // New data acknowledged.
+    rto_backoff_ = 0;
+    if (rtt_probe_seq_ >= 0 && ack_seq > rtt_probe_seq_) {
+      const sim::Duration sample = loop_.now() - rtt_probe_sent_;
+      if (srtt_ == 0) {
+        srtt_ = sample;
+        rttvar_ = sample / 2;
+      } else {
+        const sim::Duration err = std::abs(sample - srtt_);
+        rttvar_ = (3 * rttvar_ + err) / 4;
+        srtt_ = (7 * srtt_ + sample) / 8;
+      }
+      rto_ = std::clamp(srtt_ + 4 * rttvar_, config_.min_rto, config_.max_rto);
+      rtt_probe_seq_ = -1;
+    }
+
+    high_ack_ = ack_seq;
+    dup_acks_ = 0;
+    if (in_fast_recovery_) {
+      if (high_ack_ >= recovery_point_) {
+        cwnd_ = ssthresh_;
+        in_fast_recovery_ = false;
+      } else {
+        // Partial ACK (NewReno-style): retransmit the next hole.
+        SendSegment(high_ack_, /*retransmission=*/true);
+        cwnd_ = std::max(ssthresh_, cwnd_ - 1.0);
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start.
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance.
+    }
+    if (next_seq_ > high_ack_) {
+      ArmRto();
+    } else if (rto_event_ != 0) {
+      loop_.Cancel(rto_event_);
+      rto_event_ = 0;
+    }
+  } else if (ack_seq == high_ack_ && next_seq_ > high_ack_) {
+    ++dup_acks_;
+    if (in_fast_recovery_) {
+      cwnd_ += 1.0;  // window inflation.
+    } else if (dup_acks_ == 3) {
+      EnterFastRecovery();
+    }
+  }
+  TrySend();
+}
+
+TcpRenoReceiver::TcpRenoReceiver(net::FlowId flow, net::Address src,
+                                 net::Address dst,
+                                 net::PacketIdAllocator& ids, SendFn send,
+                                 std::int32_t ack_bytes)
+    : flow_(flow),
+      src_(src),
+      dst_(dst),
+      ids_(ids),
+      send_(std::move(send)),
+      ack_bytes_(ack_bytes) {}
+
+void TcpRenoReceiver::OnSegment(const net::Packet& segment, sim::Time arrival) {
+  if (segment.protocol != net::Protocol::kTcp || segment.tcp.is_ack ||
+      segment.flow != flow_) {
+    return;
+  }
+  const std::int64_t seq = segment.tcp.seq;
+  if (seq >= cumulative_) {
+    out_of_order_.insert(seq);
+    while (!out_of_order_.empty() && *out_of_order_.begin() == cumulative_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++cumulative_;
+      bytes_ += segment.size_bytes - 40;  // approximate payload.
+    }
+  }
+
+  net::Packet ack;
+  ack.id = ids_.Next();
+  ack.protocol = net::Protocol::kTcp;
+  ack.src = src_;
+  ack.dst = dst_;
+  ack.flow = flow_;
+  ack.size_bytes = ack_bytes_;
+  ack.created_at = arrival;
+  ack.tcp.ack = cumulative_;
+  ack.tcp.is_ack = true;
+  send_(std::move(ack));
+}
+
+}  // namespace kwikr::transport

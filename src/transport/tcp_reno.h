@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace kwikr::transport {
+
+/// Path egress used by transport endpoints: hands the packet to whatever
+/// carries it (a wired link, a Wi-Fi station, a token bucket, ...).
+using SendFn = std::function<void(net::Packet)>;
+
+/// Bulk-transfer TCP Reno sender. This is the cross-traffic generator the
+/// paper uses throughout ("congestion in the form of TCP bulk transfers"):
+/// slow start, AIMD congestion avoidance, fast retransmit / fast recovery on
+/// three duplicate ACKs, and RTO with exponential backoff. Sequence numbers
+/// count segments, not bytes.
+class TcpRenoSender {
+ public:
+  struct Config {
+    std::int32_t mss_bytes = 1460;       ///< payload per segment.
+    std::int32_t header_bytes = 40;      ///< IP+TCP header overhead.
+    double initial_cwnd = 10.0;          ///< RFC 6928 initial window.
+    sim::Duration min_rto = sim::Millis(200);
+    /// Practical cap: RFC 6298 allows 60 s, but a minute-long dead time
+    /// after a congestion episode would dominate every experiment window.
+    sim::Duration max_rto = sim::Seconds(8);
+    std::int64_t max_in_flight = 1'000;  ///< receive-window stand-in.
+  };
+
+  TcpRenoSender(sim::EventLoop& loop, net::FlowId flow, net::Address src,
+                net::Address dst, net::PacketIdAllocator& ids, SendFn send,
+                Config config);
+  TcpRenoSender(sim::EventLoop& loop, net::FlowId flow, net::Address src,
+                net::Address dst, net::PacketIdAllocator& ids, SendFn send);
+
+  TcpRenoSender(const TcpRenoSender&) = delete;
+  TcpRenoSender& operator=(const TcpRenoSender&) = delete;
+  ~TcpRenoSender();
+
+  /// Begins the bulk transfer (unlimited data).
+  void Start();
+  /// Stops transmitting and cancels timers.
+  void Stop();
+
+  /// Feed an incoming ACK packet (tcp.is_ack) to the sender.
+  void OnAck(const net::Packet& ack);
+
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] double ssthresh() const { return ssthresh_; }
+  [[nodiscard]] std::int64_t segments_acked() const { return high_ack_; }
+  [[nodiscard]] std::int64_t retransmissions() const {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::int64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] sim::Duration srtt() const { return srtt_; }
+  [[nodiscard]] net::FlowId flow() const { return flow_; }
+  [[nodiscard]] std::int64_t in_flight() const { return next_seq_ - high_ack_; }
+  [[nodiscard]] bool rto_armed() const { return rto_event_ != 0; }
+  [[nodiscard]] bool in_fast_recovery() const { return in_fast_recovery_; }
+
+ private:
+  void TrySend();
+  void SendSegment(std::int64_t seq, bool retransmission);
+  void ArmRto();
+  void OnRto();
+  void EnterFastRecovery();
+
+  sim::EventLoop& loop_;
+  net::FlowId flow_;
+  net::Address src_;
+  net::Address dst_;
+  net::PacketIdAllocator& ids_;
+  SendFn send_;
+  Config config_;
+
+  bool running_ = false;
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  std::int64_t next_seq_ = 0;   ///< next new segment to send.
+  std::int64_t high_ack_ = 0;   ///< cumulative: all segments < high_ack_ acked.
+  int dup_acks_ = 0;
+  bool in_fast_recovery_ = false;
+  std::int64_t recovery_point_ = 0;
+
+  sim::Duration srtt_ = 0;
+  sim::Duration rttvar_ = 0;
+  sim::Duration rto_ = sim::Seconds(1);
+  sim::EventId rto_event_ = 0;
+  int rto_backoff_ = 0;
+  std::int64_t rtt_probe_seq_ = -1;   ///< segment being timed (Karn's rule).
+  sim::Time rtt_probe_sent_ = 0;
+
+  std::int64_t retransmissions_ = 0;
+  std::int64_t timeouts_ = 0;
+};
+
+/// TCP Reno receiver half: generates cumulative ACKs (one per segment, no
+/// delayed ACK) and tracks goodput for rate plots.
+class TcpRenoReceiver {
+ public:
+  TcpRenoReceiver(net::FlowId flow, net::Address src, net::Address dst,
+                  net::PacketIdAllocator& ids, SendFn send,
+                  std::int32_t ack_bytes = 40);
+
+  /// Feed an incoming data segment.
+  void OnSegment(const net::Packet& segment, sim::Time arrival);
+
+  /// Cumulative in-order segments received.
+  [[nodiscard]] std::int64_t segments_received() const { return cumulative_; }
+  /// Total in-order payload bytes received.
+  [[nodiscard]] std::int64_t bytes_received() const { return bytes_; }
+
+ private:
+  net::FlowId flow_;
+  net::Address src_;
+  net::Address dst_;
+  net::PacketIdAllocator& ids_;
+  SendFn send_;
+  std::int32_t ack_bytes_;
+  std::int64_t cumulative_ = 0;  ///< all segments < cumulative_ received.
+  std::int64_t bytes_ = 0;
+  std::set<std::int64_t> out_of_order_;
+};
+
+}  // namespace kwikr::transport

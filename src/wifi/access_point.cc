@@ -1,0 +1,136 @@
+#include "wifi/access_point.h"
+
+#include <utility>
+
+#include "wifi/station.h"
+
+namespace kwikr::wifi {
+
+AccessPoint::AccessPoint(Channel& channel, Config config)
+    : channel_(channel), config_(config) {
+  owner_ = channel_.RegisterOwner(
+      [this](Frame frame) { OnUplinkFrame(std::move(frame)); });
+  const auto params = DefaultEdcaParams();
+  for (int ac = 0; ac < kNumAccessCategories; ++ac) {
+    downlink_[ac] = channel_.CreateContender(
+        owner_, static_cast<AccessCategory>(ac), params[ac],
+        config_.queue_capacity[ac]);
+  }
+}
+
+void AccessPoint::AttachStation(Station* station) {
+  stations_[station->address()] = station;
+}
+
+void AccessPoint::DetachStation(Station* station) {
+  const auto it = stations_.find(station->address());
+  if (it != stations_.end() && it->second == station) {
+    stations_.erase(it);
+  }
+}
+
+void AccessPoint::DeliverFromWan(net::Packet packet) {
+  EnqueueDownlink(std::move(packet));
+}
+
+void AccessPoint::SetWanForwarder(std::function<void(net::Packet)> forwarder) {
+  wan_forwarder_ = std::move(forwarder);
+}
+
+void AccessPoint::EnableRateAdaptation(ArfPolicy::Config config) {
+  arf_enabled_ = true;
+  arf_config_ = config;
+  for (int ac = 0; ac < kNumAccessCategories; ++ac) {
+    channel_.SetTxFeedback(
+        downlink_[ac], [this](const Frame& frame, bool delivered,
+                              int attempts) {
+          const auto it = arf_.find(frame.packet.dst);
+          if (it != arf_.end()) it->second->OnOutcome(delivered, attempts);
+        });
+  }
+}
+
+const ArfPolicy* AccessPoint::ArfFor(net::Address station) const {
+  const auto it = arf_.find(station);
+  return it == arf_.end() ? nullptr : it->second.get();
+}
+
+std::size_t AccessPoint::DownlinkQueueLength(AccessCategory ac) const {
+  return channel_.QueueLength(downlink_[Index(ac)]);
+}
+
+std::size_t AccessPoint::TotalDownlinkQueueLength() const {
+  std::size_t total = 0;
+  for (int ac = 0; ac < kNumAccessCategories; ++ac) {
+    total += channel_.QueueLength(downlink_[ac]);
+  }
+  return total;
+}
+
+std::uint64_t AccessPoint::downlink_queue_drops() const {
+  std::uint64_t total = 0;
+  for (int ac = 0; ac < kNumAccessCategories; ++ac) {
+    total += channel_.QueueDrops(downlink_[ac]);
+  }
+  return total;
+}
+
+void AccessPoint::OnUplinkFrame(Frame frame) {
+  net::Packet& packet = frame.packet;
+  if (packet.dst == config_.address) {
+    // Addressed to the AP itself: answer echo requests (the Ping-Pair and
+    // channel-access probes); everything else is dropped.
+    if (packet.protocol == net::Protocol::kIcmp &&
+        packet.icmp.type == net::IcmpType::kEchoRequest) {
+      net::Packet reply = packet;
+      reply.src = config_.address;
+      reply.dst = packet.src;
+      reply.icmp.type = net::IcmpType::kEchoReply;
+      // Per the ICMP standard the reply echoes the request's TOS byte
+      // (paper Section 5.2) — `reply.tos` is already the request's.
+      reply.mac = net::MacInfo{};
+      ++echo_replies_sent_;
+      EnqueueDownlink(std::move(reply));
+    }
+    return;
+  }
+  if (stations_.contains(packet.dst)) {
+    // Station-to-station traffic relays through the AP's downlink.
+    EnqueueDownlink(std::move(packet));
+    return;
+  }
+  if (wan_forwarder_) {
+    wan_forwarder_(std::move(packet));
+  } else {
+    ++unroutable_drops_;
+  }
+}
+
+void AccessPoint::EnqueueDownlink(net::Packet packet) {
+  const auto it = stations_.find(packet.dst);
+  if (it == stations_.end()) {
+    ++unroutable_drops_;
+    return;
+  }
+  Station* station = it->second;
+  const AccessCategory ac = config_.wmm_enabled
+                                ? TosToAccessCategory(packet.tos)
+                                : AccessCategory::kBestEffort;
+  Frame frame;
+  frame.dest = station->owner();
+  if (arf_enabled_) {
+    auto& policy = arf_[packet.dst];
+    if (policy == nullptr) {
+      const auto rates = McsRates(config_.band);
+      policy = std::make_unique<ArfPolicy>(rates, rates.size() / 2,
+                                           arf_config_);
+    }
+    frame.phy_rate_bps = policy->rate_bps();
+  } else {
+    frame.phy_rate_bps = station->rate_bps();
+  }
+  frame.packet = std::move(packet);
+  channel_.Enqueue(downlink_[Index(ac)], std::move(frame));
+}
+
+}  // namespace kwikr::wifi

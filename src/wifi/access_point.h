@@ -1,0 +1,106 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "wifi/channel.h"
+#include "wifi/edca.h"
+#include "wifi/rate_adaptation.h"
+#include "wifi/rate_table.h"
+
+namespace kwikr::wifi {
+
+class Station;
+
+/// A Wi-Fi access point: four prioritized EDCA downlink queues, an ICMP echo
+/// responder (the Ping-Pair probe target), and forwarding between the
+/// wireless side and a wired/WAN side.
+///
+/// With `wmm_enabled = false` the AP collapses all downlink traffic into the
+/// Best Effort queue — the behaviour the WMM detector (Section 5.5) must
+/// distinguish.
+class AccessPoint {
+ public:
+  struct Config {
+    net::Address address = 1;
+    Band band = Band::k2_4GHz;
+    bool wmm_enabled = true;
+    /// Per-AC downlink queue capacity in frames (BK, BE, VI, VO).
+    std::array<std::size_t, kNumAccessCategories> queue_capacity = {64, 150,
+                                                                    64, 64};
+  };
+
+  AccessPoint(Channel& channel, Config config);
+
+  AccessPoint(const AccessPoint&) = delete;
+  AccessPoint& operator=(const AccessPoint&) = delete;
+
+  /// Registers a station in this BSS (done by Station's constructor and by
+  /// Station::Roam).
+  void AttachStation(Station* station);
+
+  /// Removes a station from this BSS (handoff). Frames already queued for
+  /// it keep draining over the air (the station may still hear them, as
+  /// during a real roam); new wired-side packets for it become unroutable
+  /// here until upstream routing converges on the new AP.
+  void DetachStation(Station* station);
+
+  /// Wired-side ingress: routes the packet onto the downlink queue chosen by
+  /// its TOS byte (or Best Effort when WMM is off). Unknown destinations are
+  /// counted and dropped.
+  void DeliverFromWan(net::Packet packet);
+
+  /// Installs the wired-side egress used for packets whose destination is
+  /// not in this BSS (uplink traffic to servers).
+  void SetWanForwarder(std::function<void(net::Packet)> forwarder);
+
+  /// Enables per-station ARF rate adaptation on the downlink: the AP learns
+  /// each station's sustainable MCS from frame outcomes instead of using
+  /// the station's configured rate.
+  void EnableRateAdaptation(ArfPolicy::Config config = {});
+
+  /// The ARF policy serving `station`, or nullptr (disabled / never sent).
+  [[nodiscard]] const ArfPolicy* ArfFor(net::Address station) const;
+
+  /// Ground truth: frames waiting in one downlink AC queue (includes the
+  /// frame currently contending, as a standing queue would).
+  [[nodiscard]] std::size_t DownlinkQueueLength(AccessCategory ac) const;
+  /// Sum over all ACs.
+  [[nodiscard]] std::size_t TotalDownlinkQueueLength() const;
+
+  [[nodiscard]] std::uint64_t downlink_queue_drops() const;
+  [[nodiscard]] std::uint64_t unroutable_drops() const {
+    return unroutable_drops_;
+  }
+  [[nodiscard]] std::uint64_t echo_replies_sent() const {
+    return echo_replies_sent_;
+  }
+
+  [[nodiscard]] net::Address address() const { return config_.address; }
+  [[nodiscard]] OwnerId owner() const { return owner_; }
+  [[nodiscard]] Band band() const { return config_.band; }
+  [[nodiscard]] bool wmm_enabled() const { return config_.wmm_enabled; }
+  [[nodiscard]] Channel& channel() { return channel_; }
+
+ private:
+  void OnUplinkFrame(Frame frame);
+  void EnqueueDownlink(net::Packet packet);
+
+  Channel& channel_;
+  Config config_;
+  OwnerId owner_;
+  std::array<ContenderId, kNumAccessCategories> downlink_;
+  std::unordered_map<net::Address, Station*> stations_;
+  std::function<void(net::Packet)> wan_forwarder_;
+  std::uint64_t unroutable_drops_ = 0;
+  std::uint64_t echo_replies_sent_ = 0;
+  bool arf_enabled_ = false;
+  ArfPolicy::Config arf_config_;
+  std::unordered_map<net::Address, std::unique_ptr<ArfPolicy>> arf_;
+};
+
+}  // namespace kwikr::wifi

@@ -1,0 +1,325 @@
+#include "wifi/channel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace kwikr::wifi {
+
+Channel::Channel(sim::EventLoop& loop, sim::Rng rng, PhyParams phy)
+    : loop_(loop), rng_(rng), phy_(phy) {}
+
+OwnerId Channel::RegisterOwner(DeliveryHandler on_delivery) {
+  owners_.push_back(Owner{std::move(on_delivery), 0});
+  return static_cast<OwnerId>(owners_.size() - 1);
+}
+
+ContenderId Channel::CreateContender(OwnerId owner, AccessCategory ac,
+                                     EdcaParams params,
+                                     std::size_t queue_capacity) {
+  assert(owner < owners_.size());
+  Contender c;
+  c.owner = owner;
+  c.ac = ac;
+  c.params = params;
+  c.capacity = queue_capacity;
+  c.cw = params.cw_min;
+  contenders_.push_back(std::move(c));
+  return static_cast<ContenderId>(contenders_.size() - 1);
+}
+
+bool Channel::Enqueue(ContenderId id, Frame frame) {
+  assert(id < contenders_.size());
+  Contender& c = contenders_[id];
+  if (c.queue.size() >= c.capacity) {
+    ++c.queue_drops;
+    return false;
+  }
+  c.queue.push_back(std::move(frame));
+  if (c.queue.size() == 1) {
+    // Newly backlogged: join contention.
+    backlogged_.push_back(id);
+    c.backoff_slots = -1;
+    c.cw = c.params.cw_min;
+    c.attempts = 0;
+    if (MediumIdle()) {
+      c.wait_ref = loop_.now();
+      c.counting = true;
+      ScheduleArbitration();
+    } else {
+      c.counting = false;
+    }
+  }
+  return true;
+}
+
+void Channel::SetFrameErrorModel(FrameErrorModel model) {
+  error_model_ = std::move(model);
+}
+
+void Channel::SetDropHandler(DropHandler handler) {
+  drop_handler_ = std::move(handler);
+}
+
+void Channel::SetTxFeedback(ContenderId id, TxFeedback feedback) {
+  assert(id < contenders_.size());
+  contenders_[id].tx_feedback = std::move(feedback);
+}
+
+std::size_t Channel::QueueLength(ContenderId id) const {
+  return contenders_[id].queue.size();
+}
+
+std::uint64_t Channel::Delivered(ContenderId id) const {
+  return contenders_[id].delivered;
+}
+
+std::uint64_t Channel::QueueDrops(ContenderId id) const {
+  return contenders_[id].queue_drops;
+}
+
+std::uint64_t Channel::RetryDrops(ContenderId id) const {
+  return contenders_[id].retry_drops;
+}
+
+double Channel::BusyFraction() const {
+  const sim::Time now = loop_.now();
+  sim::Duration busy = busy_accum_;
+  if (busy_) busy += now - busy_started_;
+  if (now <= 0) return 0.0;
+  return static_cast<double>(busy) / static_cast<double>(now);
+}
+
+bool Channel::MediumIdle() const { return !busy_; }
+
+void Channel::EnsureBackoffDrawn(Contender& c) {
+  if (c.backoff_slots < 0) {
+    c.backoff_slots =
+        static_cast<int>(rng_.UniformInt(0, c.cw));
+  }
+}
+
+sim::Time Channel::CandidateStart(const Contender& c) const {
+  return c.wait_ref + phy_.Aifs(c.params) +
+         static_cast<sim::Duration>(c.backoff_slots) * phy_.slot;
+}
+
+void Channel::BeginIdlePeriod() {
+  busy_ = false;
+  const sim::Time now = loop_.now();
+  for (ContenderId id : backlogged_) {
+    Contender& c = contenders_[id];
+    c.wait_ref = now;
+    c.counting = true;
+  }
+  ScheduleArbitration();
+}
+
+void Channel::ScheduleArbitration() {
+  if (arbitration_event_ != 0) {
+    loop_.Cancel(arbitration_event_);
+    arbitration_event_ = 0;
+    scheduled_start_ = -1;
+  }
+  if (backlogged_.empty() || busy_) return;
+
+  sim::Time earliest = std::numeric_limits<sim::Time>::max();
+  for (ContenderId id : backlogged_) {
+    Contender& c = contenders_[id];
+    if (!c.counting) continue;
+    EnsureBackoffDrawn(c);
+    earliest = std::min(earliest, CandidateStart(c));
+  }
+  if (earliest == std::numeric_limits<sim::Time>::max()) return;
+  scheduled_start_ = earliest;
+  arbitration_event_ =
+      loop_.ScheduleAt(earliest, [this, earliest] {
+        arbitration_event_ = 0;
+        scheduled_start_ = -1;
+        StartTransmissions(earliest);
+      });
+}
+
+void Channel::StartTransmissions(sim::Time start) {
+  // Collect everyone whose candidate time is exactly `start`.
+  std::vector<ContenderId> winners;
+  for (ContenderId id : backlogged_) {
+    Contender& c = contenders_[id];
+    if (!c.counting) continue;
+    if (CandidateStart(c) == start) winners.push_back(id);
+  }
+  if (winners.empty()) {
+    ScheduleArbitration();
+    return;
+  }
+
+  // Resolve internal (same-owner) virtual collisions: the highest access
+  // category transmits; lower ones behave as if they collided.
+  std::vector<ContenderId> transmitters;
+  std::vector<ContenderId> virtual_losers;
+  for (ContenderId id : winners) {
+    const Contender& c = contenders_[id];
+    bool dominated = false;
+    for (ContenderId other : winners) {
+      if (other == id) continue;
+      const Contender& o = contenders_[other];
+      if (o.owner == c.owner && Index(o.ac) > Index(c.ac)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      virtual_losers.push_back(id);
+    } else {
+      transmitters.push_back(id);
+    }
+  }
+  for (ContenderId id : virtual_losers) HandleFailure(contenders_[id]);
+
+  // Freeze everyone else's backoff with the idle slots consumed so far.
+  for (ContenderId id : backlogged_) {
+    Contender& c = contenders_[id];
+    if (!c.counting) continue;
+    if (std::find(winners.begin(), winners.end(), id) != winners.end()) {
+      continue;
+    }
+    const sim::Time countdown_start = c.wait_ref + phy_.Aifs(c.params);
+    if (start > countdown_start) {
+      const auto consumed =
+          static_cast<int>((start - countdown_start) / phy_.slot);
+      c.backoff_slots = std::max(0, c.backoff_slots - consumed);
+    }
+    c.counting = false;
+  }
+
+  // Medium goes busy for the longest of the simultaneous transmissions.
+  sim::Time end = start;
+  for (ContenderId id : transmitters) {
+    Contender& c = contenders_[id];
+    assert(!c.queue.empty());
+    const Frame& f = c.queue.front();
+    const sim::Duration airtime =
+        phy_.FrameAirtime(f.packet.size_bytes, f.phy_rate_bps);
+    c.txop_used = airtime;  // a fresh medium win opens a new TXOP.
+    end = std::max(end, start + airtime);
+  }
+  busy_ = true;
+  busy_started_ = start;
+  busy_until_ = end;
+
+  loop_.ScheduleAt(end, [this, transmitters, start, end] {
+    FinishTransmissions(transmitters, start, end);
+  });
+}
+
+void Channel::FinishTransmissions(const std::vector<ContenderId>& transmitters,
+                                  sim::Time /*start*/, sim::Time end) {
+  busy_accum_ += end - busy_started_;
+
+  if (transmitters.size() > 1) {
+    ++collisions_;
+    for (ContenderId id : transmitters) HandleFailure(contenders_[id]);
+  } else if (transmitters.size() == 1) {
+    const ContenderId id = transmitters.front();
+    Contender& c = contenders_[id];
+    assert(!c.queue.empty());
+    const Frame& f = c.queue.front();
+    double error_prob = 0.0;
+    if (error_model_) error_prob = error_model_(c.owner, f.dest, f);
+    if (rng_.Bernoulli(error_prob)) {
+      HandleFailure(c);
+    } else {
+      HandleSuccess(id, end);
+      // TXOP continuation (802.11e): within the AC's TXOP limit, further
+      // queued frames go out back-to-back without re-contending.
+      if (!c.queue.empty() && c.params.txop_limit > 0) {
+        const Frame& next = c.queue.front();
+        const sim::Duration airtime =
+            phy_.FrameAirtime(next.packet.size_bytes, next.phy_rate_bps);
+        if (c.txop_used + airtime <= c.params.txop_limit) {
+          c.txop_used += airtime;
+          ++txop_continuations_;
+          busy_started_ = end;
+          // Burst frames are SIFS-separated inside the TXOP.
+          busy_until_ = end + phy_.sifs + airtime;
+          const std::vector<ContenderId> burst = {id};
+          loop_.ScheduleAt(busy_until_, [this, burst, end, until =
+                                         busy_until_] {
+            FinishTransmissions(burst, end, until);
+          });
+          return;  // medium stays busy; no idle transition yet.
+        }
+      }
+    }
+  }
+
+  BeginIdlePeriod();
+}
+
+void Channel::HandleFailure(Contender& c) {
+  assert(!c.queue.empty());
+  ++c.attempts;
+  if (c.attempts >= phy_.retry_limit) {
+    Frame dropped = std::move(c.queue.front());
+    c.queue.pop_front();
+    ++c.retry_drops;
+    if (c.tx_feedback) c.tx_feedback(dropped, false, c.attempts);
+    c.attempts = 0;
+    c.cw = c.params.cw_min;
+    c.backoff_slots = -1;
+    if (c.queue.empty()) {
+      const auto self =
+          static_cast<ContenderId>(&c - contenders_.data());
+      backlogged_.erase(
+          std::remove(backlogged_.begin(), backlogged_.end(), self),
+          backlogged_.end());
+      c.counting = false;
+    }
+    if (drop_handler_) drop_handler_(dropped);
+    return;
+  }
+  c.cw = std::min(c.cw * 2 + 1, c.params.cw_max);
+  c.backoff_slots = -1;  // fresh draw from the doubled window.
+  c.counting = false;    // resumes at the next idle transition.
+}
+
+void Channel::HandleSuccess(ContenderId id, sim::Time end) {
+  Contender& c = contenders_[id];
+  Frame frame = std::move(c.queue.front());
+  c.queue.pop_front();
+  ++c.delivered;
+
+  Owner& owner = owners_[c.owner];
+  frame.packet.mac.sequence = owner.next_sequence;
+  owner.next_sequence = static_cast<std::uint16_t>(
+      (owner.next_sequence + 1) & 0x0FFF);
+  frame.packet.mac.transmissions = static_cast<std::uint8_t>(
+      std::min(c.attempts + 1, 255));
+  frame.packet.mac.retry = c.attempts > 0;
+  frame.packet.mac.data_rate_bps = frame.phy_rate_bps;
+  frame.packet.mac.access_category = static_cast<std::uint8_t>(Index(c.ac));
+
+  if (c.tx_feedback) c.tx_feedback(frame, true, c.attempts + 1);
+  c.attempts = 0;
+  c.cw = c.params.cw_min;
+  c.backoff_slots = -1;  // post-transmission backoff.
+  if (c.queue.empty()) {
+    backlogged_.erase(std::remove(backlogged_.begin(), backlogged_.end(), id),
+                      backlogged_.end());
+    c.counting = false;
+  }
+
+  const OwnerId dest = frame.dest;
+  assert(dest < owners_.size());
+  if (owners_[dest].on_delivery) {
+    // Deliver at the end of the frame (now). Scheduled rather than called
+    // inline so receiver actions (e.g. an ICMP reply enqueue) observe a
+    // consistent channel state.
+    loop_.ScheduleAt(end, [this, dest, frame = std::move(frame)]() mutable {
+      owners_[dest].on_delivery(std::move(frame));
+    });
+  }
+}
+
+}  // namespace kwikr::wifi

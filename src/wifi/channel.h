@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "wifi/edca.h"
+
+namespace kwikr::wifi {
+
+/// Identifier of a MAC entity (an AP or a station). Every contender belongs
+/// to one owner; an owner's access categories resolve internal (virtual)
+/// collisions by priority as 802.11e specifies.
+using OwnerId = std::uint32_t;
+
+/// Opaque handle to a per-(owner, access-category) transmit queue.
+using ContenderId = std::uint32_t;
+
+/// A queued MAC frame: an IP packet plus link-layer transmit parameters.
+struct Frame {
+  net::Packet packet;
+  OwnerId dest = 0;               ///< receiving MAC entity.
+  std::int64_t phy_rate_bps = 0;  ///< PHY data rate for this frame.
+};
+
+/// Pluggable per-attempt frame-error model (wireless noise, not collisions).
+/// Returns the probability in [0,1] that a single transmission attempt from
+/// `tx` to `rx` is corrupted. Used by the mobility scenario of Figure 4.
+using FrameErrorModel =
+    std::function<double(OwnerId tx, OwnerId rx, const Frame& frame)>;
+
+/// Shared 802.11 medium implementing EDCA contention.
+///
+/// All BSSs attached to the same Channel contend with each other — this is
+/// how the paper's co-channel interference setting (two APs on one channel,
+/// Figure 5) is modelled.
+///
+/// Mechanics (event-driven, no per-slot events):
+///  * Every contender owns a FIFO of Frames and EDCA parameters.
+///  * When the medium goes idle, each backlogged contender's next possible
+///    transmit start is `ref + AIFS + backoff_slots x slot`; the earliest
+///    wins. Exact ties transmit simultaneously and collide (unless they share
+///    an owner, in which case the higher access category wins the internal
+///    collision and the lower one backs off, per 802.11e).
+///  * Losers freeze their remaining backoff (decremented by the idle slots
+///    that elapsed) and resume after the next idle transition, as in DCF.
+///  * Failed attempts (collision or frame error) double the contention
+///    window, set the 802.11 retry bit, and drop the frame after
+///    `retry_limit` attempts.
+class Channel {
+ public:
+  /// Delivery callback: frame arrived intact at its destination. MacInfo in
+  /// `frame.packet.mac` is filled in (sequence number, retry, rate, AC).
+  using DeliveryHandler = std::function<void(Frame frame)>;
+  /// A frame was abandoned after retry_limit failed attempts.
+  using DropHandler = std::function<void(const Frame& frame)>;
+
+  Channel(sim::EventLoop& loop, sim::Rng rng, PhyParams phy = PhyParams{});
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Registers a MAC entity and its delivery handler; returns its OwnerId.
+  OwnerId RegisterOwner(DeliveryHandler on_delivery);
+
+  /// Creates a transmit queue for (owner, ac) with the given EDCA parameters
+  /// and queue capacity (frames). Drop-tail on overflow.
+  ContenderId CreateContender(OwnerId owner, AccessCategory ac,
+                              EdcaParams params,
+                              std::size_t queue_capacity = 512);
+
+  /// Enqueues a frame for transmission; returns false (and counts a drop) if
+  /// the queue is full.
+  bool Enqueue(ContenderId id, Frame frame);
+
+  /// Installs the wireless frame-error model (default: no errors).
+  void SetFrameErrorModel(FrameErrorModel model);
+
+  /// Optional handler invoked when a frame exhausts its retries.
+  void SetDropHandler(DropHandler handler);
+
+  /// Per-frame transmit feedback for one contender: `delivered` plus the
+  /// link-layer attempts used. This is what rate-adaptation algorithms
+  /// (wifi::ArfPolicy) consume.
+  using TxFeedback =
+      std::function<void(const Frame& frame, bool delivered, int attempts)>;
+  void SetTxFeedback(ContenderId id, TxFeedback feedback);
+
+  /// Queue length of a contender (frames waiting, excluding in-flight).
+  [[nodiscard]] std::size_t QueueLength(ContenderId id) const;
+  /// Total frames ever enqueued minus delivered/dropped for this contender.
+  [[nodiscard]] std::uint64_t Delivered(ContenderId id) const;
+  [[nodiscard]] std::uint64_t QueueDrops(ContenderId id) const;
+  [[nodiscard]] std::uint64_t RetryDrops(ContenderId id) const;
+
+  /// Fraction of simulated time the medium was busy since construction.
+  [[nodiscard]] double BusyFraction() const;
+
+  [[nodiscard]] const PhyParams& phy() const { return phy_; }
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+
+  /// Total collisions (simultaneous-start events) observed.
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+
+  /// Frames sent as TXOP burst continuations (without re-contending).
+  [[nodiscard]] std::uint64_t txop_continuations() const {
+    return txop_continuations_;
+  }
+
+ private:
+  struct Contender {
+    OwnerId owner = 0;
+    AccessCategory ac = AccessCategory::kBestEffort;
+    EdcaParams params;
+    std::size_t capacity = 0;
+    std::deque<Frame> queue;
+    int backoff_slots = -1;  ///< -1 = needs a fresh draw.
+    int cw = 0;              ///< current contention window.
+    int attempts = 0;        ///< attempts for the head frame.
+    sim::Time wait_ref = 0;  ///< when AIFS+backoff counting (re)started.
+    bool counting = false;   ///< wait_ref valid for the current idle period.
+    sim::Duration txop_used = 0;  ///< airtime consumed in the current TXOP.
+    std::uint64_t delivered = 0;
+    std::uint64_t queue_drops = 0;
+    std::uint64_t retry_drops = 0;
+    TxFeedback tx_feedback;
+  };
+
+  struct Owner {
+    DeliveryHandler on_delivery;
+    std::uint16_t next_sequence = 0;
+  };
+
+  [[nodiscard]] bool MediumIdle() const;
+  [[nodiscard]] sim::Time CandidateStart(const Contender& c) const;
+  void EnsureBackoffDrawn(Contender& c);
+  void BeginIdlePeriod();
+  void ScheduleArbitration();
+  void StartTransmissions(sim::Time start);
+  void FinishTransmissions(const std::vector<ContenderId>& transmitters,
+                           sim::Time start, sim::Time end);
+  void HandleFailure(Contender& c);
+  void HandleSuccess(ContenderId id, sim::Time end);
+
+  sim::EventLoop& loop_;
+  sim::Rng rng_;
+  PhyParams phy_;
+  FrameErrorModel error_model_;
+  DropHandler drop_handler_;
+
+  std::vector<Owner> owners_;
+  std::vector<Contender> contenders_;
+  std::vector<ContenderId> backlogged_;
+
+  bool busy_ = false;
+  sim::Time busy_until_ = 0;
+  sim::EventId arbitration_event_ = 0;
+  sim::Time scheduled_start_ = -1;
+
+  sim::Duration busy_accum_ = 0;
+  sim::Time busy_started_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t txop_continuations_ = 0;
+};
+
+}  // namespace kwikr::wifi

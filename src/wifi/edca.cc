@@ -1,0 +1,51 @@
+#include "wifi/edca.h"
+
+#include "net/packet.h"
+
+namespace kwikr::wifi {
+
+const char* Name(AccessCategory ac) {
+  switch (ac) {
+    case AccessCategory::kBackground:
+      return "BK";
+    case AccessCategory::kBestEffort:
+      return "BE";
+    case AccessCategory::kVideo:
+      return "VI";
+    case AccessCategory::kVoice:
+      return "VO";
+  }
+  return "?";
+}
+
+std::array<EdcaParams, kNumAccessCategories> DefaultEdcaParams() {
+  std::array<EdcaParams, kNumAccessCategories> params;
+  params[Index(AccessCategory::kBackground)] = EdcaParams{7, 15, 1023, 0};
+  params[Index(AccessCategory::kBestEffort)] = EdcaParams{3, 15, 1023, 0};
+  params[Index(AccessCategory::kVideo)] =
+      EdcaParams{2, 7, 15, sim::Micros(3008)};
+  params[Index(AccessCategory::kVoice)] =
+      EdcaParams{2, 3, 7, sim::Micros(1504)};
+  return params;
+}
+
+AccessCategory TosToAccessCategory(std::uint8_t tos) {
+  const std::uint8_t dscp = tos >> 2;
+  if (dscp == 46) return AccessCategory::kVoice;  // EF (TOS 0xb8)
+  const std::uint8_t precedence = tos >> 5;
+  switch (precedence) {
+    case 6:
+    case 7:
+      return AccessCategory::kVoice;
+    case 4:
+    case 5:
+      return AccessCategory::kVideo;
+    case 1:
+    case 2:
+      return AccessCategory::kBackground;
+    default:
+      return AccessCategory::kBestEffort;
+  }
+}
+
+}  // namespace kwikr::wifi

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace kwikr::wifi {
+
+/// 802.11e / WMM access categories, in increasing priority order
+/// (paper Section 5.1).
+enum class AccessCategory : std::uint8_t {
+  kBackground = 0,
+  kBestEffort = 1,
+  kVideo = 2,
+  kVoice = 3,
+};
+inline constexpr int kNumAccessCategories = 4;
+
+constexpr int Index(AccessCategory ac) { return static_cast<int>(ac); }
+
+const char* Name(AccessCategory ac);
+
+/// EDCA contention parameters for one access category.
+struct EdcaParams {
+  int aifsn = 3;     ///< AIFS = SIFS + aifsn * slot.
+  int cw_min = 15;   ///< initial contention window (slots).
+  int cw_max = 1023; ///< cap for exponential backoff.
+  /// Transmit-opportunity limit: once this AC wins the medium it may send
+  /// further queued frames back-to-back (SIFS-separated) while their
+  /// cumulative airtime stays within the limit. 0 = one frame per win
+  /// (802.11 default for BE/BK; WMM grants VI/VO a burst).
+  sim::Duration txop_limit = 0;
+};
+
+/// Standard WMM parameter set (802.11-2016 defaults for a station; the AP
+/// side uses slightly smaller windows in the standard, but the station set is
+/// the conventional simulation default). Includes the WMM TXOP limits
+/// (VO 1.504 ms, VI 3.008 ms).
+std::array<EdcaParams, kNumAccessCategories> DefaultEdcaParams();
+
+/// Maps an IP TOS byte to the WMM access category, following the common
+/// DSCP-precedence mapping used by APs: precedence 6-7 and DSCP EF -> Voice,
+/// 4-5 -> Video, 1-2 -> Background, else Best Effort.
+AccessCategory TosToAccessCategory(std::uint8_t tos);
+
+/// PHY-level timing constants. Defaults approximate 802.11n.
+struct PhyParams {
+  sim::Duration slot = sim::Micros(9);
+  sim::Duration sifs = sim::Micros(16);
+  sim::Duration preamble = sim::Micros(20);       ///< PLCP preamble+header.
+  sim::Duration ack_duration = sim::Micros(28);   ///< ACK at basic rate.
+  std::int32_t mac_overhead_bytes = 34;           ///< MAC header + FCS.
+  int retry_limit = 7;                            ///< attempts before drop.
+
+  [[nodiscard]] sim::Duration Aifs(const EdcaParams& params) const {
+    return sifs + params.aifsn * slot;
+  }
+
+  /// Total medium occupancy of one data frame attempt: preamble + payload at
+  /// `rate_bps` + SIFS + ACK.
+  [[nodiscard]] sim::Duration FrameAirtime(std::int32_t ip_bytes,
+                                           std::int64_t rate_bps) const {
+    const std::int64_t bits =
+        static_cast<std::int64_t>(ip_bytes + mac_overhead_bytes) * 8;
+    return preamble + sim::TransmissionTime(bits, rate_bps) + sifs +
+           ack_duration;
+  }
+
+  /// Payload-only transmission time, as the paper's attribution formula uses
+  /// (s_a / R, Section 5.3).
+  [[nodiscard]] static sim::Duration PayloadTime(std::int32_t ip_bytes,
+                                                 std::int64_t rate_bps) {
+    return sim::TransmissionTime(static_cast<std::int64_t>(ip_bytes) * 8,
+                                 rate_bps);
+  }
+};
+
+}  // namespace kwikr::wifi

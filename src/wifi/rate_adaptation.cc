@@ -1,0 +1,80 @@
+#include "wifi/rate_adaptation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kwikr::wifi {
+
+double ErrorProbForRate(Band band, double distance_m, std::int64_t rate_bps) {
+  const auto rates = McsRates(band);
+  // Index of the attempted rate within the table.
+  std::size_t attempted = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] == rate_bps) {
+      attempted = i;
+      break;
+    }
+    if (rates[i] > rate_bps) break;
+    attempted = i;
+  }
+  // Highest sustainable MCS at this distance (same link model as
+  // LinkQualityAtDistance).
+  const double d = std::max(distance_m, 1.0);
+  const double exponent = band == Band::k2_4GHz ? 3.0 : 3.5;
+  const double loss_db = 10.0 * exponent * std::log10(d / 5.0);
+  int sustainable = static_cast<int>(rates.size()) - 1;
+  if (loss_db > 0.0) sustainable -= static_cast<int>(loss_db / 6.0);
+  sustainable = std::clamp(sustainable, 0, static_cast<int>(rates.size()) - 1);
+
+  const int excess = static_cast<int>(attempted) - sustainable;
+  if (excess <= 0) {
+    // At or below the sustainable rate: residual noise only.
+    return excess == 0 && loss_db > 0.0 ? 0.02 : 0.002;
+  }
+  // Each MCS above the link budget multiplies the error sharply.
+  return std::min(0.95, 0.05 * std::pow(4.0, excess));
+}
+
+ArfPolicy::ArfPolicy(std::span<const std::int64_t> rates,
+                     std::size_t initial_index)
+    : ArfPolicy(rates, initial_index, Config{}) {}
+
+ArfPolicy::ArfPolicy(std::span<const std::int64_t> rates,
+                     std::size_t initial_index, Config config)
+    : rates_(rates),
+      index_(std::min(initial_index, rates.size() - 1)),
+      config_(config) {}
+
+void ArfPolicy::StepDown() {
+  if (index_ > 0) {
+    --index_;
+    ++steps_down_;
+  }
+  failures_ = 0;
+  successes_ = 0;
+  probing_ = false;
+}
+
+void ArfPolicy::OnOutcome(bool delivered, int attempts) {
+  const bool clean = delivered && attempts <= 1;
+  if (clean) {
+    probing_ = false;
+    failures_ = 0;
+    if (++successes_ >= config_.up_after && index_ + 1 < rates_.size()) {
+      ++index_;
+      ++steps_up_;
+      successes_ = 0;
+      probing_ = true;  // next failure falls straight back.
+    }
+    return;
+  }
+  successes_ = 0;
+  if (probing_) {
+    // The probe at the higher rate failed: immediate fallback.
+    StepDown();
+    return;
+  }
+  if (++failures_ >= config_.down_after) StepDown();
+}
+
+}  // namespace kwikr::wifi

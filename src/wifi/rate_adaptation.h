@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "wifi/rate_table.h"
+
+namespace kwikr::wifi {
+
+/// Per-attempt frame error probability when transmitting at `rate_bps` to a
+/// receiver `distance_m` away. Monotone: faster rates and longer distances
+/// are more fragile. Complements LinkQualityAtDistance (which returns the
+/// rate a perfect controller would pick): this is the surface a rate
+///-adaptation algorithm actually explores.
+double ErrorProbForRate(Band band, double distance_m, std::int64_t rate_bps);
+
+/// Classic ARF (Automatic Rate Fallback) over an MCS table:
+///  * `up_after` consecutive clean first-attempt deliveries step the rate up
+///    (the first frame after a step-up is a probe — if it fails, step back
+///    immediately);
+///  * `down_after` consecutive failed/retried frames step the rate down.
+///
+/// The transmitter feeds every frame outcome via OnOutcome; the simulator
+/// wires this to the Channel's per-contender TX feedback.
+class ArfPolicy {
+ public:
+  struct Config {
+    int up_after = 10;
+    int down_after = 2;
+  };
+
+  ArfPolicy(std::span<const std::int64_t> rates, std::size_t initial_index);
+  ArfPolicy(std::span<const std::int64_t> rates, std::size_t initial_index,
+            Config config);
+
+  /// @param delivered frame eventually ACKed.
+  /// @param attempts link-layer transmissions used (1 = clean).
+  void OnOutcome(bool delivered, int attempts);
+
+  [[nodiscard]] std::int64_t rate_bps() const { return rates_[index_]; }
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] std::int64_t steps_up() const { return steps_up_; }
+  [[nodiscard]] std::int64_t steps_down() const { return steps_down_; }
+
+ private:
+  void StepDown();
+
+  std::span<const std::int64_t> rates_;
+  std::size_t index_;
+  Config config_;
+  int successes_ = 0;
+  int failures_ = 0;
+  bool probing_ = false;  ///< first frame after a step-up.
+  std::int64_t steps_up_ = 0;
+  std::int64_t steps_down_ = 0;
+};
+
+}  // namespace kwikr::wifi

@@ -1,0 +1,53 @@
+#include "wifi/rate_table.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace kwikr::wifi {
+namespace {
+
+// 802.11n MCS 0-7, one spatial stream, 20 MHz, 800 ns GI.
+constexpr std::array<std::int64_t, 8> kRates24 = {
+    6'500'000,  13'000'000, 19'500'000, 26'000'000,
+    39'000'000, 52'000'000, 58'500'000, 65'000'000};
+
+// 5 GHz: 40 MHz channel doubles throughput per MCS.
+constexpr std::array<std::int64_t, 8> kRates5 = {
+    13'500'000, 27'000'000,  40'500'000,  54'000'000,
+    81'000'000, 108'000'000, 121'500'000, 135'000'000};
+
+}  // namespace
+
+std::span<const std::int64_t> McsRates(Band band) {
+  return band == Band::k2_4GHz ? std::span<const std::int64_t>(kRates24)
+                               : std::span<const std::int64_t>(kRates5);
+}
+
+std::int64_t MaxRate(Band band) { return McsRates(band).back(); }
+
+LinkQuality LinkQualityAtDistance(Band band, double distance_m) {
+  const auto rates = McsRates(band);
+  // Log-distance path loss mapped onto MCS steps: full rate within 5 m,
+  // dropping one MCS roughly every 6 dB of additional loss. 5 GHz attenuates
+  // faster (higher path-loss exponent indoors).
+  const double d = std::max(distance_m, 1.0);
+  const double exponent = band == Band::k2_4GHz ? 3.0 : 3.5;
+  const double loss_db = 10.0 * exponent * std::log10(d / 5.0);
+  int mcs = static_cast<int>(rates.size()) - 1;
+  if (loss_db > 0.0) {
+    mcs -= static_cast<int>(loss_db / 6.0);
+  }
+  mcs = std::clamp(mcs, 0, static_cast<int>(rates.size()) - 1);
+
+  // Error probability: negligible when link margin is comfortable, ramping
+  // toward 0.5 at the edge of the lowest MCS.
+  double error = 0.0;
+  if (loss_db > 0.0) {
+    const double margin_used = loss_db / (6.0 * static_cast<double>(rates.size()));
+    error = std::clamp(margin_used * margin_used * 2.0, 0.0, 0.5);
+  }
+  return LinkQuality{rates[static_cast<std::size_t>(mcs)], error};
+}
+
+}  // namespace kwikr::wifi

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace kwikr::wifi {
+
+/// Operating band. The paper evaluates Ping-Pair on both bands of a
+/// dual-band Netgear WNDR3800 (Table 1); the 5 GHz band is modelled with
+/// higher PHY rates and a cleaner channel.
+enum class Band { k2_4GHz, k5GHz };
+
+/// 802.11n single-stream MCS data rates (long guard interval), bps.
+std::span<const std::int64_t> McsRates(Band band);
+
+/// Highest MCS rate for the band.
+std::int64_t MaxRate(Band band);
+
+/// Simple distance-driven link model used by the mobility scenario
+/// (Figure 4): stepping away from the AP lowers the MCS and raises the
+/// per-attempt frame error probability.
+struct LinkQuality {
+  std::int64_t rate_bps = 0;
+  double frame_error_prob = 0.0;
+};
+
+/// Maps a distance in metres to (rate, error probability). Monotone:
+/// rate non-increasing, error probability non-decreasing in distance.
+LinkQuality LinkQualityAtDistance(Band band, double distance_m);
+
+}  // namespace kwikr::wifi

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/checksum.h"
+#include "net/packet.h"
+#include "net/wire.h"
+#include "net/wired_link.h"
+#include "sim/event_loop.h"
+
+namespace kwikr::net {
+namespace {
+
+// ------------------------------------------------------------ Checksum ----
+
+TEST(Checksum, RfcExampleVector) {
+  // Classic RFC 1071 worked example: 0x0001 0xf203 0xf4f5 0xf6f7.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(data), 0xffff - 0xddf2 + 0);  // ~0xddf2
+  EXPECT_EQ(InternetChecksum(data), 0x220d);
+}
+
+TEST(Checksum, ZeroDataChecksumIsAllOnes) {
+  const std::vector<std::uint8_t> data(10, 0);
+  EXPECT_EQ(InternetChecksum(data), 0xFFFF);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> even = {0x12, 0x34, 0xab, 0x00};
+  const std::vector<std::uint8_t> odd = {0x12, 0x34, 0xab};
+  EXPECT_EQ(InternetChecksum(even), InternetChecksum(odd));
+}
+
+TEST(Checksum, EmbeddedChecksumValidates) {
+  IcmpEchoWire echo;
+  echo.ident = 0xBEEF;
+  echo.sequence = 7;
+  echo.payload = {1, 2, 3, 4, 5};
+  const auto wire = echo.Serialize();
+  EXPECT_TRUE(ChecksumIsValid(wire));
+}
+
+TEST(Checksum, CorruptionDetected) {
+  IcmpEchoWire echo;
+  echo.ident = 1;
+  echo.payload = {9, 9, 9};
+  auto wire = echo.Serialize();
+  wire[8] ^= 0x01;
+  EXPECT_FALSE(ChecksumIsValid(wire));
+}
+
+// ---------------------------------------------------------------- Wire ----
+
+TEST(IcmpEchoWire, SerializeParseRoundTrip) {
+  IcmpEchoWire echo;
+  echo.type = 8;
+  echo.ident = 0x1234;
+  echo.sequence = 0x5678;
+  echo.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  const auto wire = echo.Serialize();
+  const auto parsed = IcmpEchoWire::Parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, 8);
+  EXPECT_EQ(parsed->ident, 0x1234);
+  EXPECT_EQ(parsed->sequence, 0x5678);
+  EXPECT_EQ(parsed->payload, echo.payload);
+}
+
+TEST(IcmpEchoWire, EmptyPayloadRoundTrip) {
+  IcmpEchoWire echo;
+  echo.ident = 42;
+  const auto parsed = IcmpEchoWire::Parse(echo.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(IcmpEchoWire, ShortInputRejected) {
+  const std::vector<std::uint8_t> junk = {8, 0, 0};
+  EXPECT_FALSE(IcmpEchoWire::Parse(junk).has_value());
+}
+
+TEST(IcmpEchoWire, BadChecksumRejected) {
+  IcmpEchoWire echo;
+  echo.ident = 5;
+  auto wire = echo.Serialize();
+  wire[4] ^= 0xFF;
+  EXPECT_FALSE(IcmpEchoWire::Parse(wire).has_value());
+}
+
+TEST(Ipv4HeaderView, ParsesMinimalHeader) {
+  std::vector<std::uint8_t> header(20, 0);
+  header[0] = 0x45;  // v4, ihl=5
+  header[1] = 0xb8;  // TOS
+  header[8] = 64;    // TTL
+  header[9] = 1;     // ICMP
+  header[12] = 192;
+  header[13] = 168;
+  header[14] = 1;
+  header[15] = 1;
+  const auto view = Ipv4HeaderView::Parse(header);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->ihl_bytes, 20);
+  EXPECT_EQ(view->tos, 0xb8);
+  EXPECT_EQ(view->ttl, 64);
+  EXPECT_EQ(view->protocol, 1);
+  EXPECT_EQ(view->src, 0xC0A80101u);
+}
+
+TEST(Ipv4HeaderView, RejectsNonV4) {
+  std::vector<std::uint8_t> header(20, 0);
+  header[0] = 0x65;  // v6?
+  EXPECT_FALSE(Ipv4HeaderView::Parse(header).has_value());
+}
+
+TEST(Ipv4HeaderView, RejectsShortBuffer) {
+  std::vector<std::uint8_t> header(10, 0);
+  header[0] = 0x45;
+  EXPECT_FALSE(Ipv4HeaderView::Parse(header).has_value());
+}
+
+TEST(Ipv4HeaderView, RejectsTruncatedOptions) {
+  std::vector<std::uint8_t> header(20, 0);
+  header[0] = 0x4F;  // ihl = 60 bytes, but only 20 present.
+  EXPECT_FALSE(Ipv4HeaderView::Parse(header).has_value());
+}
+
+// -------------------------------------------------------------- Packet ----
+
+TEST(Packet, DescribeMentionsProtocolAndAddresses) {
+  Packet p;
+  p.protocol = Protocol::kIcmp;
+  p.id = 9;
+  p.src = 100;
+  p.dst = 1;
+  p.tos = kTosVoice;
+  const std::string text = Describe(p);
+  EXPECT_NE(text.find("ICMP"), std::string::npos);
+  EXPECT_NE(text.find("0xb8"), std::string::npos);
+}
+
+TEST(Packet, IdAllocatorIsMonotonic) {
+  PacketIdAllocator ids;
+  const auto a = ids.Next();
+  const auto b = ids.Next();
+  EXPECT_LT(a, b);
+}
+
+TEST(Packet, TosConstantsMatchPaper) {
+  EXPECT_EQ(kTosBestEffort, 0x00);
+  EXPECT_EQ(kTosVoice, 0xb8);  // paper Section 5.2.
+}
+
+// ----------------------------------------------------------- WiredLink ----
+
+TEST(WiredLink, DeliversAfterSerializationAndPropagation) {
+  sim::EventLoop loop;
+  std::vector<sim::Time> arrivals;
+  WiredLink::Config config;
+  config.rate_bps = 8'000'000;  // 1 byte/us
+  config.propagation = sim::Millis(2);
+  WiredLink link(loop, config, [&](Packet) { arrivals.push_back(loop.now()); });
+
+  Packet p;
+  p.size_bytes = 1000;  // 1 ms serialization.
+  link.Send(p);
+  loop.Run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], sim::Millis(3));
+}
+
+TEST(WiredLink, BackToBackPacketsSerialize) {
+  sim::EventLoop loop;
+  std::vector<sim::Time> arrivals;
+  WiredLink::Config config;
+  config.rate_bps = 8'000'000;
+  config.propagation = 0;
+  WiredLink link(loop, config, [&](Packet) { arrivals.push_back(loop.now()); });
+
+  Packet p;
+  p.size_bytes = 1000;
+  link.Send(p);
+  link.Send(p);
+  loop.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], sim::Millis(1));
+  EXPECT_EQ(arrivals[1], sim::Millis(2));
+}
+
+TEST(WiredLink, DropsWhenQueueFull) {
+  sim::EventLoop loop;
+  int delivered = 0;
+  WiredLink::Config config;
+  config.rate_bps = 8'000;  // very slow
+  config.queue_capacity_packets = 3;
+  WiredLink link(loop, config, [&](Packet) { ++delivered; });
+
+  Packet p;
+  p.size_bytes = 100;
+  for (int i = 0; i < 10; ++i) link.Send(p);
+  EXPECT_GT(link.dropped(), 0u);
+  loop.Run();
+  EXPECT_EQ(delivered + static_cast<int>(link.dropped()), 10);
+}
+
+TEST(WiredLink, PreservesOrder) {
+  sim::EventLoop loop;
+  std::vector<std::uint64_t> order;
+  WiredLink::Config config;
+  WiredLink link(loop, config,
+                 [&](Packet p) { order.push_back(p.id); });
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    Packet p;
+    p.id = i;
+    p.size_bytes = 500;
+    link.Send(p);
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(WiredLink, CountsDelivered) {
+  sim::EventLoop loop;
+  WiredLink link(loop, WiredLink::Config{}, [](Packet) {});
+  Packet p;
+  p.size_bytes = 100;
+  link.Send(p);
+  link.Send(p);
+  loop.Run();
+  EXPECT_EQ(link.delivered(), 2u);
+  EXPECT_EQ(link.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace kwikr::net

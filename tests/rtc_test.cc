@@ -1,0 +1,451 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/packet.h"
+#include "rtc/bandwidth_estimator.h"
+#include "rtc/controller.h"
+#include "rtc/media.h"
+#include "rtc/ukf.h"
+#include "sim/event_loop.h"
+
+namespace kwikr::rtc {
+namespace {
+
+/// Synthetic leaky-bucket path: produces the delay a queue with capacity
+/// `bw_bps` would impose on a stream of `packet_bytes` packets spaced
+/// `interval_s` apart.
+struct SyntheticPath {
+  double bw_bytes_per_s;
+  double queue_bytes = 0.0;
+
+  explicit SyntheticPath(double bw_bps) : bw_bytes_per_s(bw_bps / 8.0) {}
+
+  double NextDelay(double packet_bytes, double interval_s) {
+    queue_bytes = std::max(
+        0.0, queue_bytes + packet_bytes - bw_bytes_per_s * interval_s);
+    return queue_bytes / bw_bytes_per_s;
+  }
+};
+
+// ------------------------------------------------------------------ UKF ----
+
+TEST(Ukf, ConvergesToPathBandwidthUnderOverload) {
+  LeakyBucketUkf::Config config;
+  config.initial_bandwidth_bps = 2'000'000;
+  LeakyBucketUkf ukf(config);
+  // True path: 800 kbps; stream offered at 1 Mbps -> queue builds, delay
+  // signal reveals the true bandwidth.
+  SyntheticPath path(800'000.0);
+  const double interval = 0.02;
+  const double bytes = 1'000'000.0 / 8.0 * interval;  // 1 Mbps offered.
+  for (int i = 0; i < 500; ++i) {
+    const double delay = path.NextDelay(bytes, interval);
+    ukf.Update(delay, bytes, interval);
+  }
+  EXPECT_NEAR(ukf.bandwidth_bps(), 800'000.0, 150'000.0);
+}
+
+TEST(Ukf, HoldsEstimateWhenUncongested) {
+  LeakyBucketUkf::Config config;
+  config.initial_bandwidth_bps = 1'000'000;
+  LeakyBucketUkf ukf(config);
+  const double interval = 0.02;
+  const double bytes = 500'000.0 / 8.0 * interval;  // below capacity.
+  for (int i = 0; i < 500; ++i) {
+    ukf.Update(0.0, bytes, interval);  // no queueing delay observed.
+  }
+  // No congestion evidence: the estimate must not collapse below the
+  // offered rate.
+  EXPECT_GT(ukf.bandwidth_bps(), 450'000.0);
+}
+
+TEST(Ukf, QueueEstimateTracksDelay) {
+  LeakyBucketUkf ukf;
+  const double interval = 0.02;
+  const double bytes = 1250.0;
+  for (int i = 0; i < 300; ++i) {
+    ukf.Update(0.100, bytes, interval);  // persistent 100 ms delay.
+  }
+  const double implied_delay =
+      ukf.queue_bytes() / ukf.bandwidth_bytes_per_s();
+  EXPECT_NEAR(implied_delay, 0.100, 0.03);
+}
+
+TEST(Ukf, CrossTrafficDelayAbsorbedWithKwikr) {
+  // Two identical filters see the same *growing* delay series (a queue
+  // building because of cross traffic); one is told the delay is
+  // cross-traffic via Tc. The informed filter must keep a substantially
+  // higher bandwidth estimate (Equation 3's intent).
+  LeakyBucketUkf::Config config;
+  config.initial_bandwidth_bps = 1'000'000;
+  LeakyBucketUkf baseline(config);
+  LeakyBucketUkf kwikr(config);
+  const double interval = 0.02;
+  const double bytes = 1'000'000.0 / 8.0 * interval;
+  for (int i = 0; i < 300; ++i) {
+    const double delay = 0.001 * i;  // ramps to 300 ms.
+    baseline.Update(delay, bytes, interval, 0.0);
+    kwikr.Update(delay, bytes, interval, delay);
+  }
+  // The informed filter never estimates below the uninformed one...
+  EXPECT_GE(kwikr.bandwidth_bps(), baseline.bandwidth_bps() * 0.99);
+  // ...and, crucially, its *self* queueing delay — the congestion signal the
+  // rate controller reacts to — stays far below the uninformed filter's,
+  // which attributes the whole ramp to itself.
+  const double kwikr_self = kwikr.queue_bytes() / kwikr.bandwidth_bytes_per_s();
+  const double baseline_self =
+      baseline.queue_bytes() / baseline.bandwidth_bytes_per_s();
+  EXPECT_LT(kwikr_self, 0.05);
+  EXPECT_GT(baseline_self, 0.15);
+}
+
+TEST(Ukf, BetaZeroDisablesModulation) {
+  LeakyBucketUkf::Config config;
+  config.beta = 0.0;
+  LeakyBucketUkf a(config);
+  LeakyBucketUkf b(config);
+  const double interval = 0.02;
+  const double bytes = 1250.0;
+  for (int i = 0; i < 100; ++i) {
+    a.Update(0.05, bytes, interval, 0.0);
+    b.Update(0.05, bytes, interval, 0.5);  // Tc ignored when beta = 0.
+  }
+  EXPECT_DOUBLE_EQ(a.bandwidth_bps(), b.bandwidth_bps());
+}
+
+TEST(Ukf, SelfCongestionUnaffectedByKwikrWhenTcZero) {
+  LeakyBucketUkf a;  // beta = 4 default.
+  LeakyBucketUkf::Config no_kwikr;
+  no_kwikr.beta = 0.0;
+  LeakyBucketUkf b(no_kwikr);
+  const double interval = 0.02;
+  const double bytes = 1250.0;
+  for (int i = 0; i < 200; ++i) {
+    a.Update(0.08, bytes, interval, 0.0);  // Tc = 0: self congestion.
+    b.Update(0.08, bytes, interval, 0.0);
+  }
+  EXPECT_NEAR(a.bandwidth_bps(), b.bandwidth_bps(), 1.0);
+}
+
+TEST(Ukf, RespectsBandwidthClamps) {
+  LeakyBucketUkf::Config config;
+  config.min_bandwidth_bps = 100'000;
+  config.max_bandwidth_bps = 2'000'000;
+  LeakyBucketUkf ukf(config);
+  // Hammer with huge delays: estimate must not go below the floor.
+  for (int i = 0; i < 500; ++i) ukf.Update(5.0, 1250.0, 0.02);
+  EXPECT_GE(ukf.bandwidth_bps(), 100'000.0);
+}
+
+TEST(Ukf, LargerBetaReactsLess) {
+  LeakyBucketUkf::Config low;
+  low.beta = 1.0;
+  LeakyBucketUkf::Config high;
+  high.beta = 16.0;
+  LeakyBucketUkf filter_low(low);
+  LeakyBucketUkf filter_high(high);
+  const double interval = 0.02;
+  const double bytes = 1250.0;
+  for (int i = 0; i < 200; ++i) {
+    filter_low.Update(0.1, bytes, interval, 0.05);
+    filter_high.Update(0.1, bytes, interval, 0.05);
+  }
+  EXPECT_GT(filter_high.bandwidth_bps(), filter_low.bandwidth_bps());
+}
+
+// ------------------------------------------------ BandwidthEstimator -------
+
+TEST(BandwidthEstimator, MinTrackingRemovesClockOffset) {
+  BandwidthEstimator with_offset;
+  BandwidthEstimator without_offset;
+  const sim::Duration offset = sim::Seconds(1234);
+  sim::Time send = 0;
+  for (int i = 0; i < 200; ++i) {
+    send += sim::Millis(20);
+    const sim::Time arrival = send + sim::Millis(5);
+    with_offset.OnPacket(send - offset, arrival, 1000);
+    without_offset.OnPacket(send, arrival, 1000);
+  }
+  EXPECT_NEAR(with_offset.bandwidth_bps(), without_offset.bandwidth_bps(),
+              1.0);
+}
+
+TEST(BandwidthEstimator, ProviderFeedsTcToFilter) {
+  BandwidthEstimator informed;
+  BandwidthEstimator naive;
+  informed.SetCrossTrafficProvider([] { return 0.1; });
+  sim::Time send = 0;
+  // A clean start establishes the one-way-delay baseline, then a sustained
+  // 100 ms queueing-delay step (cross-traffic congestion) begins.
+  for (int i = 0; i < 200; ++i) {
+    send += sim::Millis(20);
+    const sim::Duration queueing =
+        i < 50 ? sim::Millis(0) : sim::Millis(100);
+    const sim::Time arrival = send + sim::Millis(1) + queueing;
+    informed.OnPacket(send, arrival, 1000);
+    naive.OnPacket(send, arrival, 1000);
+  }
+  EXPECT_GE(informed.bandwidth_bps(), naive.bandwidth_bps());
+  EXPECT_LT(informed.self_queueing_delay_s(), 0.05);
+  EXPECT_GT(naive.self_queueing_delay_s(), 0.05);
+}
+
+TEST(BandwidthEstimator, CountsUpdates) {
+  BandwidthEstimator estimator;
+  estimator.OnPacket(0, sim::Millis(1), 500);
+  estimator.OnPacket(sim::Millis(20), sim::Millis(21), 500);
+  EXPECT_EQ(estimator.updates(), 2);
+}
+
+// ------------------------------------------------------- RateController ----
+
+TEST(RateController, StartsAtConfiguredRate) {
+  RateController controller;
+  EXPECT_EQ(controller.target_rate_bps(),
+            RateController::Config{}.start_rate_bps);
+}
+
+TEST(RateController, BacksOffOnSelfCongestion) {
+  RateController controller;
+  const auto before = controller.target_rate_bps();
+  controller.Update(400'000.0, 0.100, sim::Seconds(1));
+  EXPECT_LT(controller.target_rate_bps(), before);
+  EXPECT_EQ(controller.backoffs(), 1);
+}
+
+TEST(RateController, BackoffsAreRateLimited) {
+  RateController controller;
+  controller.Update(400'000.0, 0.1, sim::Seconds(1));
+  controller.Update(300'000.0, 0.1, sim::Seconds(1) + sim::Millis(100));
+  EXPECT_EQ(controller.backoffs(), 1);  // second one inside backoff_interval.
+  controller.Update(300'000.0, 0.1, sim::Seconds(2));
+  EXPECT_EQ(controller.backoffs(), 2);
+}
+
+TEST(RateController, HoldsAfterBackoffThenRamps) {
+  RateController::Config config;
+  config.recovery_hold = sim::Seconds(4);
+  config.ramp_per_s = 0.10;
+  RateController controller(config);
+  controller.Update(1'000'000.0, 0.1, sim::Seconds(1));  // backoff.
+  const auto floor_rate = controller.target_rate_bps();
+  // During the hold, low delay does not ramp.
+  controller.Update(1'000'000.0, 0.0, sim::Seconds(3));
+  EXPECT_EQ(controller.target_rate_bps(), floor_rate);
+  // After the hold, ramping resumes.
+  controller.Update(1'000'000.0, 0.0, sim::Seconds(6));
+  controller.Update(1'000'000.0, 0.0, sim::Seconds(7));
+  EXPECT_GT(controller.target_rate_bps(), floor_rate);
+}
+
+TEST(RateController, RampIsGradual) {
+  RateController::Config config;
+  config.ramp_per_s = 0.08;
+  config.start_rate_bps = 500'000;
+  RateController controller(config);
+  // 1 second of clear air: ~8% growth, not a jump to the estimate.
+  controller.Update(5'000'000.0, 0.0, sim::Seconds(1));
+  controller.Update(5'000'000.0, 0.0, sim::Seconds(2));
+  EXPECT_LT(controller.target_rate_bps(), 600'000);
+  EXPECT_GT(controller.target_rate_bps(), 500'000);
+}
+
+TEST(RateController, ClampsToMinAndMax) {
+  RateController::Config config;
+  config.min_rate_bps = 200'000;
+  config.max_rate_bps = 1'000'000;
+  RateController controller(config);
+  for (int i = 0; i < 50; ++i) {
+    controller.Update(1'000.0, 0.5, sim::Seconds(i + 1));
+  }
+  EXPECT_EQ(controller.target_rate_bps(), 200'000);
+  for (int i = 50; i < 500; ++i) {
+    controller.Update(50'000'000.0, 0.0, sim::Seconds(i + 1));
+  }
+  EXPECT_EQ(controller.target_rate_bps(), 1'000'000);
+}
+
+TEST(RateController, CeilingFollowsEstimate) {
+  RateController controller;
+  // Clear air but a low estimate: target may exceed it only by the probing
+  // headroom (5%).
+  for (int i = 0; i < 200; ++i) {
+    controller.Update(600'000.0, 0.0, sim::Seconds(i + 10));
+  }
+  EXPECT_LE(controller.target_rate_bps(),
+            static_cast<std::int64_t>(600'000.0 * 1.05) + 1);
+}
+
+TEST(RateController, ProfilesDifferInRecovery) {
+  const auto skype = RateController::SkypeProfile();
+  const auto facetime = RateController::FaceTimeProfile();
+  const auto hangouts = RateController::HangoutsProfile();
+  EXPECT_LT(skype.recovery_hold, facetime.recovery_hold);
+  EXPECT_GT(skype.ramp_per_s, hangouts.ramp_per_s);
+}
+
+// -------------------------------------------------------------- Media ------
+
+TEST(MediaSender, EmitsApproximatelyTargetRate) {
+  sim::EventLoop loop;
+  net::PacketIdAllocator ids;
+  std::int64_t bytes = 0;
+  MediaSender::Config config;
+  config.start_rate_bps = 800'000;
+  MediaSender sender(loop, ids, config,
+                     [&](net::Packet p) { bytes += p.size_bytes; });
+  sender.Start();
+  loop.RunUntil(sim::Seconds(10));
+  sender.Stop();
+  const double rate = static_cast<double>(bytes) * 8.0 / 10.0;
+  EXPECT_NEAR(rate, 800'000.0, 60'000.0);
+}
+
+TEST(MediaSender, FeedbackAdjustsRate) {
+  sim::EventLoop loop;
+  net::PacketIdAllocator ids;
+  MediaSender::Config config;
+  config.flow = 3;
+  config.start_rate_bps = 500'000;
+  MediaSender sender(loop, ids, config, [](net::Packet) {});
+  net::Packet fb;
+  fb.flow = 3;
+  fb.rtc_feedback.valid = true;
+  fb.rtc_feedback.target_rate_bps = 1'200'000;
+  sender.OnFeedback(fb, sim::Millis(1));
+  EXPECT_EQ(sender.current_rate_bps(), 1'200'000);
+}
+
+TEST(MediaSender, IgnoresFeedbackFromOtherFlows) {
+  sim::EventLoop loop;
+  net::PacketIdAllocator ids;
+  MediaSender::Config config;
+  config.flow = 3;
+  MediaSender sender(loop, ids, config, [](net::Packet) {});
+  net::Packet fb;
+  fb.flow = 4;
+  fb.rtc_feedback.valid = true;
+  fb.rtc_feedback.target_rate_bps = 1'200'000;
+  sender.OnFeedback(fb, sim::Millis(1));
+  EXPECT_EQ(sender.current_rate_bps(), config.start_rate_bps);
+}
+
+TEST(MediaSender, MeasuresRttFromEcho) {
+  sim::EventLoop loop;
+  net::PacketIdAllocator ids;
+  MediaSender::Config config;
+  config.flow = 3;
+  MediaSender sender(loop, ids, config, [](net::Packet) {});
+  net::Packet fb;
+  fb.flow = 3;
+  fb.rtc_feedback.valid = true;
+  fb.rtc_feedback.echo_sender_ts = sim::Millis(100);
+  fb.rtc_feedback.echo_hold = sim::Millis(30);
+  sender.OnFeedback(fb, sim::Millis(180));
+  ASSERT_EQ(sender.rtt_samples_s().size(), 1u);
+  EXPECT_NEAR(sender.rtt_samples_s()[0], 0.050, 1e-9);
+}
+
+TEST(MediaSender, HighRatesSplitIntoMultiplePackets) {
+  sim::EventLoop loop;
+  net::PacketIdAllocator ids;
+  int packets = 0;
+  MediaSender::Config config;
+  config.start_rate_bps = 2'400'000;  // 6000 bytes per 20 ms frame.
+  config.max_packet_bytes = 1200;
+  MediaSender sender(loop, ids, config, [&](net::Packet) { ++packets; });
+  sender.Start();
+  loop.RunUntil(sim::Millis(19));
+  sender.Stop();
+  EXPECT_GE(packets, 5);  // 6000/1200 = 5 packets in the first frame.
+}
+
+TEST(MediaReceiver, CountsLossFromSequenceGaps) {
+  sim::EventLoop loop;
+  net::PacketIdAllocator ids;
+  MediaReceiver::Config config;
+  config.flow = 9;
+  MediaReceiver receiver(loop, ids, config, [](net::Packet) {});
+  auto media = [&](std::uint64_t seq) {
+    net::Packet p;
+    p.protocol = net::Protocol::kUdp;
+    p.flow = 9;
+    p.size_bytes = 1000;
+    p.udp.sequence = seq;
+    p.udp.sender_timestamp = sim::Millis(20) * seq;
+    return p;
+  };
+  receiver.OnPacket(media(0), sim::Millis(1));
+  receiver.OnPacket(media(1), sim::Millis(21));
+  receiver.OnPacket(media(4), sim::Millis(81));  // 2, 3 lost.
+  EXPECT_EQ(receiver.packets_received(), 3u);
+  EXPECT_EQ(receiver.packets_lost(), 2u);
+  EXPECT_NEAR(receiver.loss_fraction(), 0.4, 1e-9);
+}
+
+TEST(MediaReceiver, RateSeriesBucketsBySecond) {
+  sim::EventLoop loop;
+  net::PacketIdAllocator ids;
+  MediaReceiver::Config config;
+  config.flow = 9;
+  MediaReceiver receiver(loop, ids, config, [](net::Packet) {});
+  // 1000 bytes at t=0.1s, then 2000 bytes at t=1.5s.
+  net::Packet p;
+  p.protocol = net::Protocol::kUdp;
+  p.flow = 9;
+  p.size_bytes = 1000;
+  p.udp.sequence = 0;
+  receiver.OnPacket(p, sim::Millis(100));
+  p.udp.sequence = 1;
+  p.size_bytes = 2000;
+  receiver.OnPacket(p, sim::Millis(1500));
+  p.udp.sequence = 2;
+  p.size_bytes = 500;
+  receiver.OnPacket(p, sim::Millis(2200));
+  const auto& series = receiver.rate_series_kbps();
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 8.0);   // 1000 B = 8 kbit in second 0.
+  EXPECT_DOUBLE_EQ(series[1], 16.0);  // 2000 B in second 1.
+}
+
+TEST(MediaReceiver, SendsFeedbackWithTargetRate) {
+  sim::EventLoop loop;
+  net::PacketIdAllocator ids;
+  std::vector<net::Packet> feedback;
+  MediaReceiver::Config config;
+  config.flow = 9;
+  config.feedback_interval = sim::Millis(100);
+  MediaReceiver receiver(loop, ids, config, [&](net::Packet p) {
+    feedback.push_back(std::move(p));
+  });
+  receiver.Start();
+  loop.RunUntil(sim::Millis(350));
+  receiver.Stop();
+  ASSERT_EQ(feedback.size(), 3u);
+  EXPECT_TRUE(feedback[0].rtc_feedback.valid);
+  EXPECT_EQ(feedback[0].rtc_feedback.target_rate_bps,
+            receiver.controller().target_rate_bps());
+}
+
+TEST(MediaReceiver, IgnoresFeedbackAndForeignPackets) {
+  sim::EventLoop loop;
+  net::PacketIdAllocator ids;
+  MediaReceiver::Config config;
+  config.flow = 9;
+  MediaReceiver receiver(loop, ids, config, [](net::Packet) {});
+  net::Packet foreign;
+  foreign.protocol = net::Protocol::kUdp;
+  foreign.flow = 10;
+  receiver.OnPacket(foreign, 0);
+  net::Packet fb;
+  fb.protocol = net::Protocol::kUdp;
+  fb.flow = 9;
+  fb.rtc_feedback.valid = true;
+  receiver.OnPacket(fb, 0);
+  EXPECT_EQ(receiver.packets_received(), 0u);
+}
+
+}  // namespace
+}  // namespace kwikr::rtc

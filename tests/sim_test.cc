@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace kwikr::sim {
+namespace {
+
+// ---------------------------------------------------------------- Time ----
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(Micros(1), 1'000);
+  EXPECT_EQ(Millis(1), 1'000'000);
+  EXPECT_EQ(Seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Micros(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMicros(Nanos(2500)), 2.5);
+}
+
+TEST(Time, FromSecondsRoundTrips) {
+  EXPECT_EQ(FromSeconds(0.25), Millis(250));
+  EXPECT_EQ(FromSeconds(1e-6), Micros(1));
+}
+
+TEST(Time, TransmissionTimeBasics) {
+  // 8000 bits at 1 Mbps = 8 ms.
+  EXPECT_EQ(TransmissionTime(8000, 1'000'000), Millis(8));
+  // Rounds up to a whole tick.
+  EXPECT_EQ(TransmissionTime(1, 1'000'000'000), 1);
+  EXPECT_EQ(TransmissionTime(100, 0), 0);
+}
+
+TEST(Time, TransmissionTimeLargeValuesDontOverflow) {
+  // 1 GB at 1 kbps: ~8e12 ms — fits comfortably via the 128-bit intermediate.
+  const Duration d = TransmissionTime(8'000'000'000LL, 1'000);
+  EXPECT_EQ(d, Seconds(8'000'000));
+}
+
+// ----------------------------------------------------------- EventLoop ----
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(Millis(30), [&] { order.push_back(3); });
+  loop.ScheduleAt(Millis(10), [&] { order.push_back(1); });
+  loop.ScheduleAt(Millis(20), [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), Millis(30));
+}
+
+TEST(EventLoop, SameTickRunsInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ScheduleInIsRelative) {
+  EventLoop loop;
+  Time fired_at = -1;
+  loop.ScheduleAt(Millis(10), [&] {
+    loop.ScheduleIn(Millis(5), [&] { fired_at = loop.now(); });
+  });
+  loop.Run();
+  EXPECT_EQ(fired_at, Millis(15));
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  Time fired_at = -1;
+  loop.ScheduleAt(Millis(10), [&] {
+    loop.ScheduleAt(Millis(1), [&] { fired_at = loop.now(); });
+  });
+  loop.Run();
+  EXPECT_EQ(fired_at, Millis(10));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventId id = loop.ScheduleAt(Millis(1), [&] { ran = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  loop.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelOfExecutedEventFails) {
+  EventLoop loop;
+  const EventId id = loop.ScheduleAt(Millis(1), [] {});
+  loop.Run();
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoop, DoubleCancelFails) {
+  EventLoop loop;
+  const EventId id = loop.ScheduleAt(Millis(1), [] {});
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoop, CancelUnknownIdFails) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.Cancel(12345));
+  EXPECT_FALSE(loop.Cancel(0));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(Millis(10), [&] { ++count; });
+  loop.ScheduleAt(Millis(20), [&] { ++count; });
+  loop.ScheduleAt(Millis(30), [&] { ++count; });
+  loop.RunUntil(Millis(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.now(), Millis(20));
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockWithoutEvents) {
+  EventLoop loop;
+  loop.RunUntil(Seconds(5));
+  EXPECT_EQ(loop.now(), Seconds(5));
+}
+
+TEST(EventLoop, RunForIsRelative) {
+  EventLoop loop;
+  loop.RunUntil(Millis(10));
+  loop.RunFor(Millis(10));
+  EXPECT_EQ(loop.now(), Millis(20));
+}
+
+TEST(EventLoop, PendingTracksLiveEvents) {
+  EventLoop loop;
+  const EventId a = loop.ScheduleAt(Millis(1), [] {});
+  loop.ScheduleAt(Millis(2), [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.Cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.Run();
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, StepExecutesOneEvent) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(Millis(1), [&] { ++count; });
+  loop.ScheduleAt(Millis(2), [&] { ++count; });
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(loop.Step());
+  EXPECT_FALSE(loop.Step());
+}
+
+TEST(EventLoop, EventsScheduledDuringRunExecute) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) loop.ScheduleIn(Millis(1), recurse);
+  };
+  loop.ScheduleIn(Millis(1), recurse);
+  loop.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(loop.now(), Millis(10));
+}
+
+TEST(EventLoop, ExecutedCounterCounts) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.ScheduleIn(i, [] {});
+  loop.Run();
+  EXPECT_EQ(loop.executed(), 7u);
+}
+
+// -------------------------------------------------------- PeriodicTimer ----
+
+TEST(PeriodicTimer, FiresAtFixedCadence) {
+  EventLoop loop;
+  std::vector<Time> fires;
+  PeriodicTimer timer(loop, Millis(10), [&] { fires.push_back(loop.now()); });
+  timer.Start();
+  loop.RunUntil(Millis(35));
+  EXPECT_EQ(fires, (std::vector<Time>{Millis(10), Millis(20), Millis(30)}));
+}
+
+TEST(PeriodicTimer, CustomInitialDelay) {
+  EventLoop loop;
+  std::vector<Time> fires;
+  PeriodicTimer timer(loop, Millis(10), [&] { fires.push_back(loop.now()); });
+  timer.Start(Duration{0});
+  loop.RunUntil(Millis(25));
+  EXPECT_EQ(fires, (std::vector<Time>{0, Millis(10), Millis(20)}));
+}
+
+TEST(PeriodicTimer, StopHaltsFiring) {
+  EventLoop loop;
+  int count = 0;
+  PeriodicTimer timer(loop, Millis(10), [&] { ++count; });
+  timer.Start();
+  loop.ScheduleAt(Millis(25), [&] { timer.Stop(); });
+  loop.RunUntil(Millis(100));
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, RestartResets) {
+  EventLoop loop;
+  int count = 0;
+  PeriodicTimer timer(loop, Millis(10), [&] { ++count; });
+  timer.Start();
+  loop.RunUntil(Millis(15));
+  timer.Start();  // restart at t=15
+  loop.RunUntil(Millis(34));
+  EXPECT_EQ(count, 2);  // t=10 and t=25.
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  EventLoop loop;
+  int count = 0;
+  {
+    PeriodicTimer timer(loop, Millis(10), [&] { ++count; });
+    timer.Start();
+  }
+  loop.RunUntil(Millis(100));
+  EXPECT_EQ(count, 0);
+}
+
+// ----------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 15);
+}
+
+TEST(Rng, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(31);
+  parent2.Fork();
+  int equal = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (child.Next() == parent.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace kwikr::sim

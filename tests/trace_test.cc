@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/kwikr.h"
+#include "core/link_quality.h"
+#include "core/ping_pair.h"
+#include "scenario/testbed.h"
+#include "trace/trace.h"
+
+namespace kwikr::trace {
+namespace {
+
+TEST(Trace, RecordsCustomEvents) {
+  Recorder recorder;
+  recorder.Record(sim::Millis(1500), "custom", {{"x", 1.5}, {"y", -2.0}});
+  ASSERT_EQ(recorder.events().size(), 1u);
+  EXPECT_EQ(recorder.events()[0].type, "custom");
+  EXPECT_EQ(recorder.events()[0].at, sim::Millis(1500));
+}
+
+TEST(Trace, JsonSerializationIsWellFormed) {
+  Event event;
+  event.at = sim::Millis(2500);
+  event.type = "ping_pair";
+  event.fields = {{"tq_ms", 12.5}, {"sandwiched", 3.0}};
+  EXPECT_EQ(Recorder::ToJson(event),
+            "{\"t_s\":2.500000,\"type\":\"ping_pair\",\"tq_ms\":12.5,"
+            "\"sandwiched\":3}");
+}
+
+TEST(Trace, CapsEventsAndCountsDrops) {
+  Recorder recorder(3);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(i, "e", {});
+  }
+  EXPECT_EQ(recorder.events().size(), 3u);
+  EXPECT_EQ(recorder.dropped(), 7u);
+}
+
+TEST(Trace, AttachedProberProducesPingPairEvents) {
+  scenario::Testbed testbed(scenario::Testbed::Config{12, wifi::PhyParams{}});
+  auto& bss = testbed.AddBss(scenario::Bss::Config{});
+  auto& client = bss.AddStation(testbed.NextStationAddress(), 26'000'000);
+  scenario::StationProbeTransport transport(testbed.loop(), testbed.ids(),
+                                            client, bss.ap().address());
+  core::PingPairProber prober(testbed.loop(), transport,
+                              core::PingPairProber::Config{}, 1);
+  core::KwikrAdapter adapter(testbed.loop());
+  adapter.AttachTo(prober);
+  client.AddReceiver([&](const net::Packet& p, sim::Time at) {
+    if (p.protocol == net::Protocol::kIcmp) prober.OnReply(p, at);
+  });
+
+  Recorder recorder;
+  recorder.AttachProber(prober);
+  recorder.AttachAdapter(adapter);
+  prober.Start();
+  testbed.loop().RunUntil(sim::Seconds(3));
+  prober.Stop();
+
+  int ping_pair_events = 0;
+  int hint_events = 0;
+  for (const auto& event : recorder.events()) {
+    if (event.type == "ping_pair") ++ping_pair_events;
+    if (event.type == "congestion_hint") ++hint_events;
+  }
+  EXPECT_GE(ping_pair_events, 5);
+  EXPECT_GE(hint_events, 5);
+}
+
+TEST(Trace, WritesParseableJsonl) {
+  Recorder recorder;
+  recorder.Record(sim::Seconds(1), "a", {{"v", 1.0}});
+  recorder.Record(sim::Seconds(2), "b", {{"w", 2.0}});
+  const std::string path = ::testing::TempDir() + "/trace_test.jsonl";
+  ASSERT_TRUE(recorder.WriteJsonl(path));
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\":"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, WriteToUnwritablePathFails) {
+  Recorder recorder;
+  EXPECT_FALSE(recorder.WriteJsonl("/nonexistent_dir_xyz/trace.jsonl"));
+}
+
+}  // namespace
+}  // namespace kwikr::trace

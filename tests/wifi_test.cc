@@ -1,0 +1,629 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "wifi/access_point.h"
+#include "wifi/channel.h"
+#include "wifi/edca.h"
+#include "wifi/rate_table.h"
+#include "wifi/station.h"
+
+namespace kwikr::wifi {
+namespace {
+
+// ---------------------------------------------------------------- EDCA ----
+
+TEST(Edca, TosMappingMatchesPaper) {
+  EXPECT_EQ(TosToAccessCategory(net::kTosBestEffort),
+            AccessCategory::kBestEffort);
+  EXPECT_EQ(TosToAccessCategory(net::kTosVoice), AccessCategory::kVoice);
+  EXPECT_EQ(TosToAccessCategory(net::kTosVideo), AccessCategory::kVideo);
+  EXPECT_EQ(TosToAccessCategory(net::kTosBackground),
+            AccessCategory::kBackground);
+}
+
+TEST(Edca, PrecedenceSixSevenAreVoice) {
+  EXPECT_EQ(TosToAccessCategory(0xC0), AccessCategory::kVoice);
+  EXPECT_EQ(TosToAccessCategory(0xE0), AccessCategory::kVoice);
+}
+
+TEST(Edca, DefaultParamsOrderedByPriority) {
+  const auto params = DefaultEdcaParams();
+  const auto& bk = params[Index(AccessCategory::kBackground)];
+  const auto& be = params[Index(AccessCategory::kBestEffort)];
+  const auto& vi = params[Index(AccessCategory::kVideo)];
+  const auto& vo = params[Index(AccessCategory::kVoice)];
+  EXPECT_GT(bk.aifsn, be.aifsn);
+  EXPECT_GT(be.aifsn, vi.aifsn);
+  EXPECT_GE(vi.aifsn, vo.aifsn);
+  EXPECT_GT(be.cw_min, vi.cw_min);
+  EXPECT_GT(vi.cw_min, vo.cw_min);
+}
+
+TEST(Edca, AifsArithmetic) {
+  PhyParams phy;
+  EdcaParams be{3, 15, 1023};
+  EXPECT_EQ(phy.Aifs(be), sim::Micros(16) + 3 * sim::Micros(9));
+}
+
+TEST(Edca, FrameAirtimeIncludesOverheads) {
+  PhyParams phy;
+  // 1000-byte IP packet at 8 Mbps: (1000+34)*8 bits / 8 Mbps = 1034 us.
+  const sim::Duration airtime = phy.FrameAirtime(1000, 8'000'000);
+  EXPECT_EQ(airtime,
+            phy.preamble + sim::Micros(1034) + phy.sifs + phy.ack_duration);
+}
+
+TEST(Edca, PayloadTimeExcludesOverheads) {
+  EXPECT_EQ(PhyParams::PayloadTime(1000, 8'000'000), sim::Micros(1000));
+}
+
+TEST(Edca, AccessCategoryNames) {
+  EXPECT_STREQ(Name(AccessCategory::kVoice), "VO");
+  EXPECT_STREQ(Name(AccessCategory::kBestEffort), "BE");
+}
+
+// ----------------------------------------------------------- RateTable ----
+
+TEST(RateTable, RatesAreIncreasing) {
+  for (Band band : {Band::k2_4GHz, Band::k5GHz}) {
+    const auto rates = McsRates(band);
+    for (std::size_t i = 1; i < rates.size(); ++i) {
+      EXPECT_GT(rates[i], rates[i - 1]);
+    }
+  }
+}
+
+TEST(RateTable, FiveGhzFasterThanTwoFour) {
+  EXPECT_GT(MaxRate(Band::k5GHz), MaxRate(Band::k2_4GHz));
+}
+
+TEST(RateTable, LinkQualityDegradesWithDistance) {
+  std::int64_t prev_rate = MaxRate(Band::k2_4GHz) + 1;
+  double prev_error = -1.0;
+  for (double d : {1.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
+    const LinkQuality q = LinkQualityAtDistance(Band::k2_4GHz, d);
+    EXPECT_LE(q.rate_bps, prev_rate);
+    EXPECT_GE(q.frame_error_prob, prev_error);
+    prev_rate = q.rate_bps;
+    prev_error = q.frame_error_prob;
+  }
+}
+
+TEST(RateTable, CloseRangeIsClean) {
+  const LinkQuality q = LinkQualityAtDistance(Band::k2_4GHz, 2.0);
+  EXPECT_EQ(q.rate_bps, MaxRate(Band::k2_4GHz));
+  EXPECT_DOUBLE_EQ(q.frame_error_prob, 0.0);
+}
+
+TEST(RateTable, FarRangeIsLossy) {
+  const LinkQuality q = LinkQualityAtDistance(Band::k2_4GHz, 160.0);
+  EXPECT_EQ(q.rate_bps, McsRates(Band::k2_4GHz).front());
+  EXPECT_GT(q.frame_error_prob, 0.1);
+}
+
+// -------------------------------------------------------------- Channel ----
+
+struct ChannelFixture : public ::testing::Test {
+  sim::EventLoop loop;
+  Channel channel{loop, sim::Rng{99}};
+
+  struct Sink {
+    std::vector<Frame> frames;
+    std::vector<sim::Time> times;
+  };
+
+  OwnerId AddOwner(Sink& sink) {
+    return channel.RegisterOwner([this, &sink](Frame frame) {
+      sink.frames.push_back(std::move(frame));
+      sink.times.push_back(loop.now());
+    });
+  }
+
+  Frame MakeFrame(OwnerId dest, std::int32_t bytes = 1000,
+                  std::int64_t rate = 24'000'000) {
+    Frame frame;
+    frame.dest = dest;
+    frame.phy_rate_bps = rate;
+    frame.packet.size_bytes = bytes;
+    return frame;
+  }
+};
+
+TEST_F(ChannelFixture, SingleFrameDelivered) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId c = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1]);
+  ASSERT_TRUE(channel.Enqueue(c, MakeFrame(dst)));
+  loop.Run();
+  ASSERT_EQ(rx.frames.size(), 1u);
+  EXPECT_EQ(channel.Delivered(c), 1u);
+  EXPECT_EQ(rx.frames[0].packet.mac.transmissions, 1);
+  EXPECT_FALSE(rx.frames[0].packet.mac.retry);
+  EXPECT_EQ(rx.frames[0].packet.mac.data_rate_bps, 24'000'000);
+}
+
+TEST_F(ChannelFixture, DeliveryTimeIncludesAifsBackoffAndAirtime) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId c = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1]);
+  channel.Enqueue(c, MakeFrame(dst, 1000, 8'000'000));
+  loop.Run();
+  ASSERT_EQ(rx.times.size(), 1u);
+  const PhyParams& phy = channel.phy();
+  const sim::Duration airtime = phy.FrameAirtime(1000, 8'000'000);
+  const sim::Duration aifs = phy.Aifs(DefaultEdcaParams()[1]);
+  // Delivery = AIFS + backoff (0..15 slots) + airtime.
+  EXPECT_GE(rx.times[0], aifs + airtime);
+  EXPECT_LE(rx.times[0], aifs + 15 * phy.slot + airtime);
+}
+
+TEST_F(ChannelFixture, FramesDeliveredInQueueOrder) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId c = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1]);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    Frame f = MakeFrame(dst);
+    f.packet.id = i;
+    channel.Enqueue(c, std::move(f));
+  }
+  loop.Run();
+  ASSERT_EQ(rx.frames.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rx.frames[i].packet.id, i + 1);
+  }
+}
+
+TEST_F(ChannelFixture, MacSequenceNumbersIncrementPerOwner) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId be = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1]);
+  const ContenderId vo = channel.CreateContender(
+      src, AccessCategory::kVoice, DefaultEdcaParams()[3]);
+  channel.Enqueue(be, MakeFrame(dst));
+  loop.Run();
+  channel.Enqueue(vo, MakeFrame(dst));
+  loop.Run();
+  channel.Enqueue(be, MakeFrame(dst));
+  loop.Run();
+  ASSERT_EQ(rx.frames.size(), 3u);
+  // One counter across the owner's ACs: 0, 1, 2.
+  EXPECT_EQ(rx.frames[0].packet.mac.sequence, 0);
+  EXPECT_EQ(rx.frames[1].packet.mac.sequence, 1);
+  EXPECT_EQ(rx.frames[2].packet.mac.sequence, 2);
+}
+
+TEST_F(ChannelFixture, QueueOverflowDrops) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId c = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 5);
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    accepted += channel.Enqueue(c, MakeFrame(dst)) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 5);
+  EXPECT_EQ(channel.QueueDrops(c), 15u);
+  loop.Run();
+  EXPECT_EQ(rx.frames.size(), 5u);
+}
+
+TEST_F(ChannelFixture, VoiceBeatsSaturatedBestEffort) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused1;
+  Sink unused2;
+  const OwnerId be_owner = AddOwner(unused1);
+  const OwnerId vo_owner = AddOwner(unused2);
+  const ContenderId be = channel.CreateContender(
+      be_owner, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 512);
+  const ContenderId vo = channel.CreateContender(
+      vo_owner, AccessCategory::kVoice, DefaultEdcaParams()[3]);
+
+  // Saturate BE with 50 frames, then inject one VO frame.
+  for (int i = 0; i < 50; ++i) {
+    Frame f = MakeFrame(dst, 1500);
+    f.packet.flow = 1;
+    channel.Enqueue(be, std::move(f));
+  }
+  loop.RunFor(sim::Millis(2));
+  Frame priority = MakeFrame(dst, 200);
+  priority.packet.flow = 2;
+  channel.Enqueue(vo, std::move(priority));
+  loop.Run();
+
+  // The VO frame must be delivered well before the BE backlog drains.
+  std::size_t vo_position = 0;
+  for (std::size_t i = 0; i < rx.frames.size(); ++i) {
+    if (rx.frames[i].packet.flow == 2) {
+      vo_position = i;
+      break;
+    }
+  }
+  EXPECT_LT(vo_position, 5u);
+}
+
+TEST_F(ChannelFixture, SaturatedContendersCollideAndRecover) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink u1;
+  Sink u2;
+  const OwnerId o1 = AddOwner(u1);
+  const OwnerId o2 = AddOwner(u2);
+  const ContenderId c1 = channel.CreateContender(
+      o1, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 512);
+  const ContenderId c2 = channel.CreateContender(
+      o2, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 512);
+  for (int i = 0; i < 200; ++i) {
+    channel.Enqueue(c1, MakeFrame(dst));
+    channel.Enqueue(c2, MakeFrame(dst));
+  }
+  loop.Run();
+  EXPECT_GT(channel.collisions(), 0u);
+  // All frames eventually delivered (no retry-limit drops expected with
+  // CW up to 1023 and only two contenders).
+  EXPECT_EQ(rx.frames.size(), 400u);
+  // Some delivered frames must carry the retry bit from collisions.
+  bool saw_retry = false;
+  for (const auto& f : rx.frames) saw_retry |= f.packet.mac.retry;
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST_F(ChannelFixture, InternalVirtualCollisionPrefersHigherAc) {
+  // Same owner, two ACs forced to the same backoff by construction is hard
+  // to arrange deterministically; instead saturate both ACs of one owner and
+  // verify VO drains much faster than BE.
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId be = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 512);
+  const ContenderId vo = channel.CreateContender(
+      src, AccessCategory::kVoice, DefaultEdcaParams()[3], 512);
+  for (int i = 0; i < 50; ++i) {
+    Frame f_be = MakeFrame(dst);
+    f_be.packet.flow = 1;
+    channel.Enqueue(be, std::move(f_be));
+    Frame f_vo = MakeFrame(dst);
+    f_vo.packet.flow = 2;
+    channel.Enqueue(vo, std::move(f_vo));
+  }
+  loop.Run();
+  ASSERT_EQ(rx.frames.size(), 100u);
+  // Count VO frames in the first half of deliveries.
+  int vo_first_half = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (rx.frames[i].packet.flow == 2) ++vo_first_half;
+  }
+  EXPECT_GE(vo_first_half, 40);
+}
+
+TEST_F(ChannelFixture, FrameErrorsTriggerRetries) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId c = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1]);
+  channel.SetFrameErrorModel(
+      [](OwnerId, OwnerId, const Frame&) { return 0.5; });
+  for (int i = 0; i < 100; ++i) channel.Enqueue(c, MakeFrame(dst));
+  loop.Run();
+  EXPECT_GT(rx.frames.size(), 50u);
+  bool saw_retry = false;
+  for (const auto& f : rx.frames) {
+    if (f.packet.mac.transmissions > 1) {
+      saw_retry = true;
+      EXPECT_TRUE(f.packet.mac.retry);
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST_F(ChannelFixture, RetryLimitDropsFrame) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId c = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1]);
+  channel.SetFrameErrorModel(
+      [](OwnerId, OwnerId, const Frame&) { return 1.0; });
+  int drops = 0;
+  channel.SetDropHandler([&](const Frame&) { ++drops; });
+  channel.Enqueue(c, MakeFrame(dst));
+  loop.Run();
+  EXPECT_EQ(rx.frames.size(), 0u);
+  EXPECT_EQ(drops, 1);
+  EXPECT_EQ(channel.RetryDrops(c), 1u);
+}
+
+TEST_F(ChannelFixture, BusyFractionReflectsLoad) {
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId c = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 2048);
+  for (int i = 0; i < 1000; ++i) channel.Enqueue(c, MakeFrame(dst, 1500));
+  loop.Run();
+  const double busy = channel.BusyFraction();
+  EXPECT_GT(busy, 0.5);
+  EXPECT_LE(busy, 1.0);
+}
+
+TEST_F(ChannelFixture, DeterministicAcrossIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    sim::EventLoop loop;
+    Channel channel(loop, sim::Rng{seed});
+    std::vector<sim::Time> times;
+    const OwnerId dst = channel.RegisterOwner(
+        [&](Frame) { times.push_back(loop.now()); });
+    const OwnerId src = channel.RegisterOwner(nullptr);
+    const ContenderId c = channel.CreateContender(
+        src, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 256);
+    for (int i = 0; i < 100; ++i) {
+      Frame f;
+      f.dest = dst;
+      f.phy_rate_bps = 24'000'000;
+      f.packet.size_bytes = 1200;
+      channel.Enqueue(c, std::move(f));
+    }
+    loop.Run();
+    return times;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+// ------------------------------------------------------ AP and Station ----
+
+struct BssFixture : public ::testing::Test {
+  sim::EventLoop loop;
+  Channel channel{loop, sim::Rng{7}};
+  AccessPoint ap{channel, [] {
+                   AccessPoint::Config c;
+                   c.address = 1;
+                   return c;
+                 }()};
+};
+
+TEST_F(BssFixture, EchoRequestGetsReplyWithSameTosAndIds) {
+  Station station(channel, ap, {.address = 100, .rate_bps = 26'000'000});
+  std::vector<net::Packet> received;
+  station.AddReceiver([&](const net::Packet& p, sim::Time) {
+    received.push_back(p);
+  });
+
+  net::Packet ping;
+  ping.protocol = net::Protocol::kIcmp;
+  ping.src = 100;
+  ping.dst = 1;
+  ping.tos = net::kTosVoice;
+  ping.size_bytes = 64;
+  ping.icmp.type = net::IcmpType::kEchoRequest;
+  ping.icmp.ident = 0xAB;
+  ping.icmp.sequence = 17;
+  station.Send(ping);
+  loop.Run();
+
+  ASSERT_EQ(received.size(), 1u);
+  const net::Packet& reply = received[0];
+  EXPECT_EQ(reply.icmp.type, net::IcmpType::kEchoReply);
+  EXPECT_EQ(reply.icmp.ident, 0xAB);
+  EXPECT_EQ(reply.icmp.sequence, 17);
+  EXPECT_EQ(reply.tos, net::kTosVoice);  // reply echoes the request TOS.
+  EXPECT_EQ(reply.src, 1u);
+  EXPECT_EQ(reply.dst, 100u);
+  EXPECT_EQ(ap.echo_replies_sent(), 1u);
+}
+
+TEST_F(BssFixture, WanTrafficRoutedByTosToAcQueues) {
+  Station station(channel, ap, {.address = 100, .rate_bps = 26'000'000});
+  // Pause the channel by not running the loop: inspect queues synchronously.
+  net::Packet voice;
+  voice.dst = 100;
+  voice.tos = net::kTosVoice;
+  voice.size_bytes = 500;
+  ap.DeliverFromWan(voice);
+  net::Packet best_effort;
+  best_effort.dst = 100;
+  best_effort.tos = net::kTosBestEffort;
+  best_effort.size_bytes = 500;
+  ap.DeliverFromWan(best_effort);
+
+  EXPECT_EQ(ap.DownlinkQueueLength(AccessCategory::kVoice), 1u);
+  EXPECT_EQ(ap.DownlinkQueueLength(AccessCategory::kBestEffort), 1u);
+  EXPECT_EQ(ap.TotalDownlinkQueueLength(), 2u);
+}
+
+TEST_F(BssFixture, WmmDisabledCollapsesToBestEffort) {
+  AccessPoint::Config config;
+  config.address = 2;
+  config.wmm_enabled = false;
+  AccessPoint plain_ap(channel, config);
+  Station station(channel, plain_ap, {.address = 200, .rate_bps = 26'000'000});
+
+  net::Packet voice;
+  voice.dst = 200;
+  voice.tos = net::kTosVoice;
+  voice.size_bytes = 500;
+  plain_ap.DeliverFromWan(voice);
+  EXPECT_EQ(plain_ap.DownlinkQueueLength(AccessCategory::kVoice), 0u);
+  EXPECT_EQ(plain_ap.DownlinkQueueLength(AccessCategory::kBestEffort), 1u);
+}
+
+TEST_F(BssFixture, UnknownDestinationCountsUnroutable) {
+  net::Packet p;
+  p.dst = 9999;
+  p.size_bytes = 100;
+  ap.DeliverFromWan(p);
+  EXPECT_EQ(ap.unroutable_drops(), 1u);
+}
+
+TEST_F(BssFixture, UplinkForwardsToWan) {
+  Station station(channel, ap, {.address = 100, .rate_bps = 26'000'000});
+  std::vector<net::Packet> wan;
+  ap.SetWanForwarder([&](net::Packet p) { wan.push_back(std::move(p)); });
+
+  net::Packet p;
+  p.protocol = net::Protocol::kUdp;
+  p.src = 100;
+  p.dst = 5000;  // not in the BSS
+  p.size_bytes = 300;
+  station.Send(p);
+  loop.Run();
+  ASSERT_EQ(wan.size(), 1u);
+  EXPECT_EQ(wan[0].dst, 5000u);
+}
+
+TEST_F(BssFixture, StationToStationRelaysThroughDownlink) {
+  Station a(channel, ap, {.address = 100, .rate_bps = 26'000'000});
+  Station b(channel, ap, {.address = 101, .rate_bps = 26'000'000});
+  std::vector<net::Packet> at_b;
+  b.AddReceiver([&](const net::Packet& p, sim::Time) { at_b.push_back(p); });
+
+  net::Packet p;
+  p.protocol = net::Protocol::kUdp;
+  p.src = 100;
+  p.dst = 101;
+  p.size_bytes = 400;
+  a.Send(p);
+  loop.Run();
+  ASSERT_EQ(at_b.size(), 1u);
+}
+
+TEST_F(BssFixture, MultipleReceiversAllSeePackets) {
+  Station station(channel, ap, {.address = 100, .rate_bps = 26'000'000});
+  int count_a = 0;
+  int count_b = 0;
+  station.AddReceiver([&](const net::Packet&, sim::Time) { ++count_a; });
+  station.AddReceiver([&](const net::Packet&, sim::Time) { ++count_b; });
+  net::Packet p;
+  p.dst = 100;
+  p.size_bytes = 100;
+  ap.DeliverFromWan(p);
+  loop.Run();
+  EXPECT_EQ(count_a, 1);
+  EXPECT_EQ(count_b, 1);
+}
+
+TEST_F(BssFixture, UplinkUsesAccessCategoryFromTos) {
+  Station station(channel, ap, {.address = 100, .rate_bps = 26'000'000});
+  std::vector<net::Packet> wan;
+  ap.SetWanForwarder([&](net::Packet p) { wan.push_back(std::move(p)); });
+
+  net::Packet p;
+  p.protocol = net::Protocol::kUdp;
+  p.src = 100;
+  p.dst = 5000;
+  p.tos = net::kTosVoice;
+  p.size_bytes = 100;
+  station.Send(p);
+  loop.Run();
+  ASSERT_EQ(wan.size(), 1u);
+  EXPECT_EQ(wan[0].mac.access_category,
+            static_cast<std::uint8_t>(Index(AccessCategory::kVoice)));
+}
+
+TEST_F(BssFixture, LinkQualityChangeAffectsDeliveredRate) {
+  Station station(channel, ap, {.address = 100, .rate_bps = 65'000'000});
+  std::vector<net::Packet> received;
+  station.AddReceiver([&](const net::Packet& p, sim::Time) {
+    received.push_back(p);
+  });
+
+  net::Packet p;
+  p.dst = 100;
+  p.size_bytes = 500;
+  ap.DeliverFromWan(p);
+  loop.Run();
+  station.SetLinkQuality(LinkQuality{6'500'000, 0.1});
+  ap.DeliverFromWan(p);
+  loop.Run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0].mac.data_rate_bps, 65'000'000);
+  EXPECT_EQ(received[1].mac.data_rate_bps, 6'500'000);
+  EXPECT_DOUBLE_EQ(station.frame_error_prob(), 0.1);
+}
+
+// --------------------------------------- EDCA access-delay property -------
+
+class AccessDelayTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccessDelayTest, VoiceDelayStaysLowUnderBestEffortLoad) {
+  const int contenders = GetParam();
+  sim::EventLoop loop;
+  Channel channel(loop, sim::Rng{static_cast<std::uint64_t>(1000 + contenders)});
+  std::vector<sim::Time> vo_deliveries;
+  const OwnerId dst = channel.RegisterOwner([&](Frame frame) {
+    if (frame.packet.flow == 99) vo_deliveries.push_back(loop.now());
+  });
+
+  // `contenders` saturated BE stations.
+  std::vector<ContenderId> be;
+  for (int i = 0; i < contenders; ++i) {
+    const OwnerId owner = channel.RegisterOwner(nullptr);
+    be.push_back(channel.CreateContender(
+        owner, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 4096));
+  }
+  for (int i = 0; i < 500; ++i) {
+    for (const auto c : be) {
+      Frame f;
+      f.dest = dst;
+      f.phy_rate_bps = 24'000'000;
+      f.packet.size_bytes = 1200;
+      channel.Enqueue(c, std::move(f));
+    }
+  }
+
+  // A VO sender injecting one small frame every 10 ms.
+  const OwnerId vo_owner = channel.RegisterOwner(nullptr);
+  const ContenderId vo = channel.CreateContender(
+      vo_owner, AccessCategory::kVoice, DefaultEdcaParams()[3]);
+  std::vector<sim::Time> vo_sends;
+  for (int i = 0; i < 20; ++i) {
+    loop.ScheduleAt(sim::Millis(10) * (i + 1), [&, i] {
+      vo_sends.push_back(loop.now());
+      Frame f;
+      f.dest = dst;
+      f.phy_rate_bps = 24'000'000;
+      f.packet.size_bytes = 200;
+      f.packet.flow = 99;
+      channel.Enqueue(vo, std::move(f));
+    });
+  }
+  loop.RunUntil(sim::Seconds(2));
+
+  ASSERT_EQ(vo_deliveries.size(), 20u);
+  // Each VO frame must be delivered within a few milliseconds even though
+  // the BE backlog takes hundreds of milliseconds to drain.
+  for (std::size_t i = 0; i < vo_deliveries.size(); ++i) {
+    EXPECT_LT(vo_deliveries[i] - vo_sends[i], sim::Millis(8))
+        << "contenders=" << contenders << " frame " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Load, AccessDelayTest,
+                         ::testing::Values(1, 2, 4, 6));
+
+}  // namespace
+}  // namespace kwikr::wifi
