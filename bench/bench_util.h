@@ -8,8 +8,10 @@
 // plot-ready CSV file named after the experiment.
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -52,6 +54,65 @@ inline std::FILE* OpenCsv(const char* kind) {
 }
 
 }  // namespace internal
+
+// ------------------------------------------------ fleet execution flags ----
+
+/// True when `flag` (e.g. "--compare-serial") appears in argv.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Parses `<flag> N` from argv; returns `fallback` when absent/malformed.
+inline int ParseIntFlag(int argc, char** argv, const char* flag,
+                        int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+/// Parses the shared `--jobs N` knob of the fleet-backed benches
+/// (1 = serial, 0 = one worker per hardware thread).
+inline int ParseJobs(int argc, char** argv, int fallback = 1) {
+  return ParseIntFlag(argc, argv, "--jobs", fallback);
+}
+
+/// Wall-clock stopwatch for the fleet timing records.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Emits the machine-readable timing record of a fleet-backed bench — one
+/// JSON object per line so the perf trajectory can be scraped with grep.
+/// When a serial (jobs=1) reference time is supplied, the achieved speedup
+/// is included and echoed human-readably.
+inline void PrintFleetTiming(const char* bench, int jobs, double wall_ms,
+                             long calls, double serial_wall_ms = 0.0) {
+  if (serial_wall_ms > 0.0 && wall_ms > 0.0) {
+    std::printf(
+        "{\"bench\":\"%s\",\"jobs\":%d,\"wall_ms\":%.1f,\"calls\":%ld,"
+        "\"speedup_vs_serial\":%.2f}\n",
+        bench, jobs, wall_ms, calls, serial_wall_ms / wall_ms);
+    std::printf("fleet: jobs=%d ran %.1f ms vs %.1f ms serial (%.2fx)\n",
+                jobs, wall_ms, serial_wall_ms, serial_wall_ms / wall_ms);
+  } else {
+    std::printf(
+        "{\"bench\":\"%s\",\"jobs\":%d,\"wall_ms\":%.1f,\"calls\":%ld}\n",
+        bench, jobs, wall_ms, calls);
+  }
+}
 
 inline void Header(const char* experiment, const char* description) {
   internal::CurrentExperiment() = experiment;

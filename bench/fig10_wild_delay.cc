@@ -4,6 +4,7 @@
 // the distribution of those per-call percentiles (paper Section 8.4; the
 // production study covered 119,789 calls — we scale the population down and
 // keep the statistic definitions identical).
+#include <algorithm>
 #include <vector>
 
 #include "bench_util.h"
@@ -11,17 +12,21 @@
 
 using namespace kwikr;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Figure 10 — Wi-Fi downlink delay in the wild",
                 "Per-call 95th-pct queueing delay, split self vs "
                 "cross-traffic.\nPaper: cross-traffic dominates; worst 5% of "
                 "calls see >= ~98 ms of cross-traffic delay.");
 
   scenario::WildConfig config;
-  config.calls = 150;
+  config.calls = bench::ParseIntFlag(argc, argv, "--calls", 150);
   config.base_seed = 1010;
   config.call_duration = sim::Seconds(60);
+  config.jobs = bench::ParseJobs(argc, argv);
+
+  bench::WallTimer timer;
   const scenario::WildResults results = scenario::RunWildPopulation(config);
+  const double wall_ms = timer.ElapsedMs();
 
   std::vector<double> self_ms;
   std::vector<double> cross_ms;
@@ -60,5 +65,36 @@ int main() {
                 }
                 return measurable > 0 ? 100.0 * dominated / measurable : 0.0;
               }());
+
+  std::printf("\n");
+  double serial_wall_ms = 0.0;
+  if (config.jobs != 1 && bench::HasFlag(argc, argv, "--compare-serial")) {
+    scenario::WildConfig serial = config;
+    serial.jobs = 1;
+    bench::WallTimer serial_timer;
+    const scenario::WildResults serial_results =
+        scenario::RunWildPopulation(serial);
+    serial_wall_ms = serial_timer.ElapsedMs();
+    bench::PrintFleetTiming("fig10_wild_delay", 1, serial_wall_ms,
+                            config.calls);
+    std::printf("determinism: jobs=%d results %s jobs=1 results\n",
+                config.jobs,
+                std::equal(results.calls.begin(), results.calls.end(),
+                           serial_results.calls.begin(),
+                           serial_results.calls.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.p95_tq_ms == b.p95_tq_ms &&
+                                    a.p95_ta_ms == b.p95_ta_ms &&
+                                    a.p95_tc_ms == b.p95_tc_ms &&
+                                    a.probe_samples == b.probe_samples &&
+                                    a.baseline_rate_kbps ==
+                                        b.baseline_rate_kbps &&
+                                    a.kwikr_rate_kbps == b.kwikr_rate_kbps;
+                           })
+                    ? "byte-identical to"
+                    : "DIVERGE from");
+  }
+  bench::PrintFleetTiming("fig10_wild_delay", config.jobs, wall_ms,
+                          config.calls, serial_wall_ms);
   return 0;
 }

@@ -9,7 +9,9 @@
 #include "bench_util.h"
 #include "core/classifier.h"
 #include "core/ping_pair.h"
+#include "fleet/fleet_runner.h"
 #include "scenario/testbed.h"
+#include "sim/rng.h"
 #include "transport/udp_stream.h"
 #include "stats/confusion.h"
 #include "stats/stump.h"
@@ -102,17 +104,34 @@ LabelledRun RunLoadStep(wifi::Band band, int flows, double udp_fraction,
   return run;
 }
 
-void RunBand(wifi::Band band, const char* name, std::uint64_t seed_base) {
-  std::vector<stats::LabelledSample> all;
-  // Light, non-saturating loads (idle and partial-rate UDP) ...
-  int step = 0;
+struct LoadStep {
+  int flows = 0;
+  double udp_fraction = 0.0;
+};
+
+std::size_t RunBand(wifi::Band band, const char* name,
+                    std::uint64_t seed_base, int jobs) {
+  // Light, non-saturating loads (idle and partial-rate UDP), then 1..7
+  // saturating TCP cross flows, as in the paper's sweep.
+  std::vector<LoadStep> steps;
   for (double udp_fraction : {0.0, 0.15, 0.3, 0.45, 0.55, 0.65}) {
-    const auto run = RunLoadStep(band, 0, udp_fraction, seed_base + step++);
-    all.insert(all.end(), run.samples.begin(), run.samples.end());
+    steps.push_back(LoadStep{0, udp_fraction});
   }
-  // ... then 1..7 saturating TCP cross flows, as in the paper's sweep.
   for (int flows = 1; flows <= 7; ++flows) {
-    const auto run = RunLoadStep(band, flows, 0.0, seed_base + step++);
+    steps.push_back(LoadStep{flows, 0.0});
+  }
+
+  // Each load step is an independent testbed seeded from its own stream, so
+  // the sweep shards across workers; samples are concatenated in step order
+  // regardless of which worker finished first.
+  const sim::Rng seed_root(seed_base);
+  const auto report =
+      fleet::RunFleet(steps.size(), jobs, [&](std::size_t i) {
+        return RunLoadStep(band, steps[i].flows, steps[i].udp_fraction,
+                           seed_root.Fork(i).Next());
+      });
+  std::vector<stats::LabelledSample> all;
+  for (const auto& run : report.results) {
     all.insert(all.end(), run.samples.begin(), run.samples.end());
   }
 
@@ -132,15 +151,22 @@ void RunBand(wifi::Band band, const char* name, std::uint64_t seed_base) {
   std::printf("%s", matrix.ToTableRows().c_str());
   std::printf("overall accuracy: %.1f%% (paper: ~90%%)\n",
               100.0 * matrix.accuracy());
+  return steps.size();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Table 1 — congestion-detection confusion matrices",
                 "0..7 TCP cross flows; 30 labelled Ping-Pair measurements "
                 "per step;\nground truth: >= 90% non-empty AP queue samples.");
-  RunBand(wifi::Band::k2_4GHz, "2.4 GHz", 1100);
-  RunBand(wifi::Band::k5GHz, "5 GHz", 1200);
+  const int jobs = bench::ParseJobs(argc, argv);
+  bench::WallTimer timer;
+  std::size_t steps = 0;
+  steps += RunBand(wifi::Band::k2_4GHz, "2.4 GHz", 1100, jobs);
+  steps += RunBand(wifi::Band::k5GHz, "5 GHz", 1200, jobs);
+  std::printf("\n");
+  bench::PrintFleetTiming("table1_confusion", jobs, timer.ElapsedMs(),
+                          static_cast<long>(steps));
   return 0;
 }

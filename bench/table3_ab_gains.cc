@@ -7,17 +7,21 @@
 
 using namespace kwikr;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Table 3 — bandwidth gains from the A/B deployment",
                 "Buckets by per-call 95th-pct cross-traffic delay.\n"
                 "Paper: gains grow with cross-traffic severity (3.3%..8.6%),"
                 " p <= 0.1.");
 
   scenario::WildConfig config;
-  config.calls = 150;
+  config.calls = bench::ParseIntFlag(argc, argv, "--calls", 150);
   config.base_seed = 1010;  // same population as Figure 10.
   config.call_duration = sim::Seconds(60);
+  config.jobs = bench::ParseJobs(argc, argv);
+
+  bench::WallTimer timer;
   const scenario::WildResults results = scenario::RunWildPopulation(config);
+  const double wall_ms = timer.ElapsedMs();
 
   std::printf("%22s %10s %14s %10s %14s %10s %8s\n",
               "95th%ile cross (ms) >=", "% calls", "avg gain (%)", "p(Welch)",
@@ -41,6 +45,19 @@ int main() {
     loss_kwikr += call.kwikr_loss_pct / results.calls.size();
   }
   std::printf("\nsafety: median-RTT mean %.1f -> %.1f ms; loss %.2f%% -> "
-              "%.2f%%\n", rtt_base, rtt_kwikr, loss_base, loss_kwikr);
+              "%.2f%%\n\n", rtt_base, rtt_kwikr, loss_base, loss_kwikr);
+
+  double serial_wall_ms = 0.0;
+  if (config.jobs != 1 && bench::HasFlag(argc, argv, "--compare-serial")) {
+    scenario::WildConfig serial = config;
+    serial.jobs = 1;
+    bench::WallTimer serial_timer;
+    scenario::RunWildPopulation(serial);
+    serial_wall_ms = serial_timer.ElapsedMs();
+    bench::PrintFleetTiming("table3_ab_gains", 1, serial_wall_ms,
+                            config.calls);
+  }
+  bench::PrintFleetTiming("table3_ab_gains", config.jobs, wall_ms,
+                          config.calls, serial_wall_ms);
   return 0;
 }

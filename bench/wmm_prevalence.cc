@@ -9,7 +9,10 @@
 
 #include "bench_util.h"
 #include "core/wmm_detector.h"
+#include "fleet/fleet_metrics.h"
+#include "fleet/fleet_runner.h"
 #include "scenario/testbed.h"
+#include "sim/rng.h"
 #include "wifi/rate_table.h"
 
 using namespace kwikr;
@@ -60,11 +63,14 @@ bool DetectOnce(const ApModel& model, bool wmm, bool ambient,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Section 5.5 — WMM prioritization detection",
                 "Six AP models x 5 detection runs each; then a prevalence "
                 "survey over\n171 APs (77% WMM prior, the paper's measured "
                 "value).");
+  const int jobs = bench::ParseJobs(argc, argv);
+  bench::WallTimer timer;
+  long detections = 0;
 
   const ApModel models[] = {
       {"Netgear-2.4", wifi::Band::k2_4GHz, 3, {64, 150, 64, 64}},
@@ -77,54 +83,95 @@ int main() {
 
   std::printf("\n--- six-AP accuracy (5 detections per AP and mode) ---\n");
   std::printf("%-14s %14s %14s\n", "AP model", "WMM detected", "FIFO detected");
-  int correct = 0;
-  int total = 0;
-  for (const auto& model : models) {
+  // One fleet task per AP model; runs within a model fork off the model's
+  // seed streams (replacing the old `1400 + model*10 + run` arithmetic).
+  struct ModelScore {
     int wmm_hits = 0;
     int fifo_hits = 0;
-    for (int run = 0; run < 5; ++run) {
-      const std::uint64_t seed = 1400 + total * 10 + run;
-      if (DetectOnce(model, true, true, seed)) ++wmm_hits;
-      if (!DetectOnce(model, false, true, seed + 5)) ++fifo_hits;
-    }
-    correct += wmm_hits + fifo_hits;
-    ++total;
-    std::printf("%-14s %11d/5 %11d/5\n", model.name, wmm_hits, fifo_hits);
+  };
+  const sim::Rng accuracy_root(1400);
+  const auto accuracy = fleet::RunFleet(
+      std::size(models), jobs, [&](std::size_t m) {
+        ModelScore score;
+        for (std::size_t run = 0; run < 5; ++run) {
+          const std::uint64_t wmm_seed =
+              accuracy_root.Fork(m * 16 + run).Next();
+          const std::uint64_t fifo_seed =
+              accuracy_root.Fork(m * 16 + 8 + run).Next();
+          if (DetectOnce(models[m], true, true, wmm_seed)) ++score.wmm_hits;
+          if (!DetectOnce(models[m], false, true, fifo_seed)) {
+            ++score.fifo_hits;
+          }
+        }
+        return score;
+      });
+  int correct = 0;
+  for (std::size_t m = 0; m < std::size(models); ++m) {
+    const ModelScore& score = accuracy.results[m];
+    correct += score.wmm_hits + score.fifo_hits;
+    std::printf("%-14s %11d/5 %11d/5\n", models[m].name, score.wmm_hits,
+                score.fifo_hits);
   }
+  detections += static_cast<long>(std::size(models)) * 10;
   std::printf("overall accuracy: %.0f%% (paper: accurate detection in all "
               "six networks)\n",
-              100.0 * correct / (static_cast<double>(total) * 10));
+              100.0 * correct / (static_cast<double>(std::size(models)) * 10));
 
   std::printf("\n--- prevalence survey: 171 APs, 77%% WMM prior ---\n");
+  // The population draws stay serial (one shared stream defines who is
+  // WMM-enabled); the 171 detections then shard across workers, each task
+  // merging its own confusion cell into the shared FleetMetrics.
+  constexpr int kSurveyAps = 171;
+  struct SurveyAp {
+    int model = 0;
+    bool wmm = false;
+  };
   sim::Rng population(2024);
-  int actually_wmm = 0;
-  int detected_wmm = 0;
-  int false_positives = 0;
-  int misses = 0;
-  for (int ap = 0; ap < 171; ++ap) {
-    const auto& model = models[population.UniformInt(0, 5)];
-    const bool wmm = population.Bernoulli(0.77);
-    actually_wmm += wmm ? 1 : 0;
-    const bool detected = DetectOnce(model, wmm, true,
-                                     3000 + static_cast<std::uint64_t>(ap));
-    detected_wmm += detected ? 1 : 0;
-    if (detected && !wmm) ++false_positives;
-    if (!detected && wmm) ++misses;
+  std::vector<SurveyAp> aps(kSurveyAps);
+  for (auto& ap : aps) {
+    ap.model = static_cast<int>(population.UniformInt(0, 5));
+    ap.wmm = population.Bernoulli(0.77);
   }
-  std::printf("ground truth WMM: %d/171 (%.0f%%)  detected: %d/171 (%.0f%%)\n",
-              actually_wmm, 100.0 * actually_wmm / 171.0, detected_wmm,
-              100.0 * detected_wmm / 171.0);
-  std::printf("false positives: %d, misses: %d (paper: 77%% of 171 APs "
-              "WMM-enabled)\n", false_positives, misses);
+  const sim::Rng survey_root(3000);
+  fleet::FleetMetrics survey_metrics;
+  fleet::RunFleet(aps.size(), jobs, [&](std::size_t ap) -> int {
+    const bool detected = DetectOnce(models[aps[ap].model], aps[ap].wmm, true,
+                                     survey_root.Fork(ap).Next());
+    stats::ConfusionMatrix cell;
+    cell.Add(aps[ap].wmm, detected);
+    survey_metrics.MergeConfusion("survey", cell);
+    return detected ? 1 : 0;
+  });
+  const stats::ConfusionMatrix survey = survey_metrics.Confusion("survey");
+  const auto actually_wmm = survey.actual_positives();
+  const auto detected_wmm = survey.true_positives() + survey.false_positives();
+  detections += kSurveyAps;
+  std::printf("ground truth WMM: %lld/171 (%.0f%%)  detected: %lld/171 "
+              "(%.0f%%)\n",
+              static_cast<long long>(actually_wmm),
+              100.0 * static_cast<double>(actually_wmm) / 171.0,
+              static_cast<long long>(detected_wmm),
+              100.0 * static_cast<double>(detected_wmm) / 171.0);
+  std::printf("false positives: %lld, misses: %lld (paper: 77%% of 171 APs "
+              "WMM-enabled)\n",
+              static_cast<long long>(survey.false_positives()),
+              static_cast<long long>(survey.false_negatives()));
 
   std::printf("\n--- ablation: idle AP (no ambient traffic) ---\n");
+  const sim::Rng idle_root(5000);
+  const auto idle = fleet::RunFleet(10, jobs, [&](std::size_t run) -> int {
+    return DetectOnce(models[0], true, false, idle_root.Fork(run).Next())
+               ? 1
+               : 0;
+  });
   int idle_detected = 0;
-  for (int run = 0; run < 10; ++run) {
-    if (DetectOnce(models[0], true, false, 5000 + run)) ++idle_detected;
-  }
+  for (const int detected : idle.results) idle_detected += detected;
+  detections += 10;
   std::printf("WMM AP detected on idle network in %d/10 attempts — with no "
               "standing\nqueue the detector conservatively reports no-WMM "
               "and Kwikr falls back to\nbaseline behaviour (safe; paper "
-              "Section 7.3).\n", idle_detected);
+              "Section 7.3).\n\n", idle_detected);
+  bench::PrintFleetTiming("wmm_prevalence", jobs, timer.ElapsedMs(),
+                          detections);
   return 0;
 }

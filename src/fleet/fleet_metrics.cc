@@ -1,0 +1,63 @@
+#include "fleet/fleet_metrics.h"
+
+namespace kwikr::fleet {
+namespace {
+
+/// Heterogeneous find-or-insert: std::map<…, std::less<>> supports
+/// string_view lookup but not string_view emplace, so the key is only
+/// materialised on first insertion.
+template <typename Map, typename Value>
+Value& FindOrInsert(Map& map, std::string_view key, const Value& prototype) {
+  auto it = map.find(key);
+  if (it == map.end()) {
+    it = map.emplace(std::string(key), prototype).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void FleetMetrics::MergeSummary(std::string_view key,
+                                const stats::RunningSummary& other) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FindOrInsert(summaries_, key, stats::RunningSummary{}).Merge(other);
+}
+
+void FleetMetrics::MergeConfusion(std::string_view key,
+                                  const stats::ConfusionMatrix& other) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FindOrInsert(confusions_, key, stats::ConfusionMatrix{}).Merge(other);
+}
+
+void FleetMetrics::MergeHistogram(std::string_view key,
+                                  const stats::Histogram& other) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Seeding the slot with an empty copy of `other` adopts its binning, so
+  // the config-compatibility requirement is only between callers.
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    stats::Histogram empty(other.config());
+    it = histograms_.emplace(std::string(key), empty).first;
+  }
+  it->second.Merge(other);
+}
+
+stats::RunningSummary FleetMetrics::Summary(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = summaries_.find(key);
+  return it != summaries_.end() ? it->second : stats::RunningSummary{};
+}
+
+stats::ConfusionMatrix FleetMetrics::Confusion(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = confusions_.find(key);
+  return it != confusions_.end() ? it->second : stats::ConfusionMatrix{};
+}
+
+stats::Histogram FleetMetrics::HistogramSketch(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(key);
+  return it != histograms_.end() ? it->second : stats::Histogram{};
+}
+
+}  // namespace kwikr::fleet

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "stats/confusion.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+namespace kwikr::fleet {
+
+/// Thread-safe aggregation of mergeable reducers, keyed by name.
+///
+/// The intended pattern keeps the lock far off the hot path: each fleet
+/// task accumulates into its *own* local RunningSummary / ConfusionMatrix /
+/// Histogram while simulating, then merges once into the shared
+/// FleetMetrics when it finishes. Because every reducer's Merge is
+/// associative and commutative, the aggregate is independent of task
+/// completion order — per-sample values are worker-count-invariant, and so
+/// is anything derived from them (counts, means, matrix cells, histogram
+/// bins; a Histogram quantile is still a sketch, but the same sketch for
+/// every worker count).
+class FleetMetrics {
+ public:
+  void MergeSummary(std::string_view key, const stats::RunningSummary& other);
+  void MergeConfusion(std::string_view key,
+                      const stats::ConfusionMatrix& other);
+  void MergeHistogram(std::string_view key, const stats::Histogram& other);
+
+  /// Snapshot accessors; a key never merged into returns an empty reducer.
+  [[nodiscard]] stats::RunningSummary Summary(std::string_view key) const;
+  [[nodiscard]] stats::ConfusionMatrix Confusion(std::string_view key) const;
+  [[nodiscard]] stats::Histogram HistogramSketch(std::string_view key) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, stats::RunningSummary, std::less<>> summaries_;
+  std::map<std::string, stats::ConfusionMatrix, std::less<>> confusions_;
+  std::map<std::string, stats::Histogram, std::less<>> histograms_;
+};
+
+}  // namespace kwikr::fleet

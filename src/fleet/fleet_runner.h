@@ -1,0 +1,93 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "fleet/thread_pool.h"
+
+namespace kwikr::fleet {
+
+/// Resolves a user-facing `jobs` knob: values >= 1 pass through, anything
+/// else (0, negative) means "one worker per hardware thread".
+inline int ResolveJobs(int jobs) {
+  if (jobs >= 1) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// One task that threw instead of producing a result.
+struct TaskFailure {
+  std::size_t index = 0;
+  std::string error;
+};
+
+/// Outcome of a fleet run: one result slot per task, ordered by task index
+/// (never by completion order), plus the tasks that failed. A failed task's
+/// slot holds a default-constructed Result.
+template <typename Result>
+struct FleetReport {
+  std::vector<Result> results;
+  std::vector<TaskFailure> failures;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs `fn(index)` for every index in [0, tasks) on `jobs` workers and
+/// collects the returned values.
+///
+/// Determinism contract: the output is bit-identical for every worker count
+/// because (a) each task writes only its own pre-sized slot, (b) tasks must
+/// derive all randomness from their index (seed with `rng.Fork(index)`,
+/// never from shared mutable state), and (c) failures are reported sorted
+/// by index. `jobs <= 1` (after ResolveJobs) executes inline on the calling
+/// thread — the serial path spawns no threads at all.
+///
+/// Exception isolation: a throwing task records a TaskFailure instead of
+/// tearing down the run; every other task still executes.
+template <typename Fn>
+auto RunFleet(std::size_t tasks, int jobs, Fn&& fn)
+    -> FleetReport<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  static_assert(!std::is_same_v<Result, bool>,
+                "std::vector<bool> packs results into shared bits, so "
+                "parallel slot writes would race — return int instead");
+  FleetReport<Result> report;
+  report.results.resize(tasks);
+
+  std::mutex failures_mutex;
+  auto run_one = [&](std::size_t index) {
+    try {
+      report.results[index] = fn(index);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(failures_mutex);
+      report.failures.push_back(TaskFailure{index, e.what()});
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(failures_mutex);
+      report.failures.push_back(TaskFailure{index, "non-standard exception"});
+    }
+  };
+
+  const auto workers = static_cast<std::size_t>(ResolveJobs(jobs));
+  if (workers <= 1 || tasks <= 1) {
+    for (std::size_t i = 0; i < tasks; ++i) run_one(i);
+  } else {
+    ThreadPool pool(static_cast<int>(std::min(workers, tasks)));
+    for (std::size_t i = 0; i < tasks; ++i) {
+      pool.Submit([&run_one, i] { run_one(i); });
+    }
+    pool.Wait();
+  }
+
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const TaskFailure& a, const TaskFailure& b) {
+              return a.index < b.index;
+            });
+  return report;
+}
+
+}  // namespace kwikr::fleet

@@ -1,0 +1,60 @@
+#include "fleet/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kwikr::fleet {
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: ~ThreadPool promises completion
+      // of everything submitted before destruction.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace kwikr::fleet

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kwikr::fleet {
+
+/// Fixed-size worker pool: a lock-guarded FIFO task queue drained by
+/// `threads` workers woken through a condition variable.
+///
+/// This is deliberately the simplest pool that the fleet layer needs — no
+/// futures, no work stealing, no task priorities. Determinism never depends
+/// on the pool (tasks self-identify via their index and write to their own
+/// result slot); the pool only supplies concurrency.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (values < 1 are treated as 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding tasks, then stops and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw — wrap fallible work before
+  /// submitting (RunFleet does); an escaped exception terminates.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  [[nodiscard]] int threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing.
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kwikr::fleet

@@ -54,46 +54,56 @@ double SamplePercentileMs(const std::vector<core::PingPairSample>& samples,
   return stats::Percentile(ms, p);
 }
 
+/// One environment end to end. All randomness flows from `call_rng` — a
+/// per-index fork of the population RNG — so environments are independent
+/// tasks the fleet runner can execute on any worker in any order.
+WildCallResult RunOneEnvironment(const WildConfig& config,
+                                 sim::Rng call_rng) {
+  const std::uint64_t call_seed = call_rng.Next();
+  ExperimentConfig experiment = DrawEnvironment(call_rng, config, call_seed);
+
+  // Paired A/B under common random numbers: the environment (seed,
+  // topology, congestion schedule) is identical; only the adaptation arm
+  // differs.
+  experiment.calls[0].kwikr = false;
+  const ExperimentMetrics baseline = RunCallExperiment(experiment);
+  experiment.calls[0].kwikr = true;
+  const ExperimentMetrics kwikr = RunCallExperiment(experiment);
+
+  WildCallResult r;
+  const CallMetrics& b = baseline.calls[0];
+  const CallMetrics& k = kwikr.calls[0];
+  r.p95_tq_ms = SamplePercentileMs(k.probe_samples, 95.0,
+                                   &core::PingPairSample::tq);
+  r.p95_ta_ms = SamplePercentileMs(k.probe_samples, 95.0,
+                                   &core::PingPairSample::ta);
+  r.p95_tc_ms = SamplePercentileMs(k.probe_samples, 95.0,
+                                   &core::PingPairSample::tc);
+  r.probe_samples = static_cast<int>(k.probe_samples.size());
+  r.baseline_rate_kbps = b.mean_rate_kbps;
+  r.kwikr_rate_kbps = k.mean_rate_kbps;
+  r.baseline_loss_pct = b.loss_pct;
+  r.kwikr_loss_pct = k.loss_pct;
+  r.baseline_rtt_p50_ms = stats::Percentile(b.rtt_ms, 50.0);
+  r.kwikr_rtt_p50_ms = stats::Percentile(k.rtt_ms, 50.0);
+  r.wmm_enabled = experiment.wmm_enabled;
+  r.cross_stations = experiment.cross_stations;
+  return r;
+}
+
 }  // namespace
 
 WildResults RunWildPopulation(const WildConfig& config) {
+  const sim::Rng base_rng(config.base_seed);
+  auto report = fleet::RunFleet(
+      static_cast<std::size_t>(std::max(config.calls, 0)), config.jobs,
+      [&](std::size_t index) {
+        return RunOneEnvironment(config, base_rng.Fork(index));
+      });
+
   WildResults results;
-  results.calls.reserve(config.calls);
-  sim::Rng env_rng(config.base_seed);
-
-  for (int i = 0; i < config.calls; ++i) {
-    const std::uint64_t call_seed = env_rng.Next();
-    ExperimentConfig experiment =
-        DrawEnvironment(env_rng, config, call_seed);
-
-    // Paired A/B under common random numbers: the environment (seed,
-    // topology, congestion schedule) is identical; only the adaptation arm
-    // differs.
-    experiment.calls[0].kwikr = false;
-    const ExperimentMetrics baseline = RunCallExperiment(experiment);
-    experiment.calls[0].kwikr = true;
-    const ExperimentMetrics kwikr = RunCallExperiment(experiment);
-
-    WildCallResult r;
-    const CallMetrics& b = baseline.calls[0];
-    const CallMetrics& k = kwikr.calls[0];
-    r.p95_tq_ms = SamplePercentileMs(k.probe_samples, 95.0,
-                                     &core::PingPairSample::tq);
-    r.p95_ta_ms = SamplePercentileMs(k.probe_samples, 95.0,
-                                     &core::PingPairSample::ta);
-    r.p95_tc_ms = SamplePercentileMs(k.probe_samples, 95.0,
-                                     &core::PingPairSample::tc);
-    r.probe_samples = static_cast<int>(k.probe_samples.size());
-    r.baseline_rate_kbps = b.mean_rate_kbps;
-    r.kwikr_rate_kbps = k.mean_rate_kbps;
-    r.baseline_loss_pct = b.loss_pct;
-    r.kwikr_loss_pct = k.loss_pct;
-    r.baseline_rtt_p50_ms = stats::Percentile(b.rtt_ms, 50.0);
-    r.kwikr_rtt_p50_ms = stats::Percentile(k.rtt_ms, 50.0);
-    r.wmm_enabled = experiment.wmm_enabled;
-    r.cross_stations = experiment.cross_stations;
-    results.calls.push_back(r);
-  }
+  results.calls = std::move(report.results);
+  results.failures = std::move(report.failures);
   return results;
 }
 

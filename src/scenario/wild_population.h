@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fleet/fleet_runner.h"
 #include "scenario/call_experiment.h"
 
 namespace kwikr::scenario {
@@ -18,6 +19,11 @@ struct WildConfig {
   sim::Duration call_duration = sim::Seconds(60);  ///< paper mean: 967 s.
   /// Probability an AP supports WMM (paper's measured prevalence: 77%).
   double wmm_probability = 0.77;
+  /// Worker threads for the population sweep (fleet runner): 1 = serial on
+  /// the calling thread, 0 = one per hardware thread. Every environment is
+  /// seeded from `base_seed` and its own index, so results are bit-identical
+  /// for any value of `jobs`.
+  int jobs = 1;
 };
 
 /// Outcome of one environment (paired calls).
@@ -42,9 +48,13 @@ struct WildCallResult {
 
 struct WildResults {
   std::vector<WildCallResult> calls;
+  /// Environments that threw instead of completing (their `calls` slots are
+  /// default-constructed). Deterministic like the results themselves.
+  std::vector<fleet::TaskFailure> failures;
 };
 
-/// Runs the population; deterministic in `config.base_seed`.
+/// Runs the population; deterministic in `config.base_seed` alone —
+/// `config.jobs` changes wall-clock time, never the results.
 WildResults RunWildPopulation(const WildConfig& config);
 
 /// One row of Table 3: calls whose p95 cross-traffic delay is at least

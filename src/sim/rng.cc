@@ -78,4 +78,12 @@ double Rng::Normal(double mean, double stddev) {
 
 Rng Rng::Fork() { return Rng{Next()}; }
 
+Rng Rng::Fork(std::uint64_t stream) const {
+  // SplitMix64 over (state, stream): consecutive stream indices land on
+  // decorrelated seeds, and the parent is read, not advanced.
+  std::uint64_t state =
+      s_[0] ^ Rotl(s_[3], 17) ^ (stream * 0x9E3779B97F4A7C15ULL);
+  return Rng{SplitMix64(state)};
+}
+
 }  // namespace kwikr::sim

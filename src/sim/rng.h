@@ -33,8 +33,17 @@ class Rng {
   /// Normally distributed value (Box-Muller).
   double Normal(double mean, double stddev);
 
-  /// Derives an independent child generator (for per-entity streams).
+  /// Derives an independent child generator (for per-entity streams),
+  /// advancing this generator by one draw.
   Rng Fork();
+
+  /// Derives the independent child generator for stream `stream` without
+  /// advancing this generator (SplitMix64 seed derivation). The same parent
+  /// state and stream index always yield the same child, which makes it the
+  /// per-task seeding primitive for parallel sweeps: tasks seeded with
+  /// `base.Fork(task_index)` produce identical results no matter how many
+  /// workers execute them or in what order.
+  [[nodiscard]] Rng Fork(std::uint64_t stream) const;
 
  private:
   std::uint64_t s_[4];

@@ -20,6 +20,7 @@ double InterpolateSorted(const std::vector<double>& sorted, double p) {
 }  // namespace
 
 double Percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) return 0.0;  // documented empty-input contract.
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   return InterpolateSorted(sorted, p);
@@ -27,6 +28,7 @@ double Percentile(std::span<const double> samples, double p) {
 
 std::vector<double> Percentiles(std::span<const double> samples,
                                 std::span<const double> ps) {
+  if (samples.empty()) return std::vector<double>(ps.size(), 0.0);
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   std::vector<double> out;

@@ -8,10 +8,17 @@
 namespace kwikr::stats {
 
 /// Returns the p-th percentile (p in [0, 100]) of `samples` using linear
-/// interpolation between closest ranks. An empty input returns 0.0.
+/// interpolation between closest ranks.
+///
+/// Empty-input contract: an empty `samples` returns exactly 0.0 (not NaN,
+/// not UB) — callers summarising possibly-empty buckets (wild-population
+/// rows, benches) rely on this and must not need their own guard. The same
+/// contract holds for `Percentiles` (all-zero output) and
+/// `EmpiricalCdf::Quantile`.
 double Percentile(std::span<const double> samples, double p);
 
-/// Convenience: several percentiles of one sample set, sorted once.
+/// Convenience: several percentiles of one sample set, sorted once. Empty
+/// `samples` yields 0.0 for every requested percentile.
 std::vector<double> Percentiles(std::span<const double> samples,
                                 std::span<const double> ps);
 
@@ -24,7 +31,7 @@ class EmpiricalCdf {
   /// Fraction of samples <= x.
   [[nodiscard]] double At(double x) const;
 
-  /// p-th percentile, p in [0, 100].
+  /// p-th percentile, p in [0, 100]; 0.0 when the CDF holds no samples.
   [[nodiscard]] double Quantile(double p) const;
 
   [[nodiscard]] std::size_t size() const { return sorted_.size(); }

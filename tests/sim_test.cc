@@ -330,5 +330,35 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, StreamForkIsDeterministicAndConst) {
+  const Rng base(42);
+  Rng a = base.Fork(7);
+  Rng b = base.Fork(7);
+  // Same parent state + same stream index => identical child stream, and
+  // forking never advances the parent (it is const).
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng untouched(42);
+  Rng fresh(42);
+  base.Fork(123);
+  EXPECT_EQ(untouched.Next(), fresh.Next());
+}
+
+TEST(Rng, StreamForksAreDecorrelated) {
+  const Rng base(42);
+  // Consecutive stream indices (the fleet's task indices) must not produce
+  // overlapping or correlated streams.
+  Rng s0 = base.Fork(0);
+  Rng s1 = base.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (s0.Next() == s1.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+  double mean = 0.0;
+  Rng s2 = base.Fork(2);
+  for (int i = 0; i < 2000; ++i) mean += s2.UniformDouble() / 2000.0;
+  EXPECT_NEAR(mean, 0.5, 0.05);
+}
+
 }  // namespace
 }  // namespace kwikr::sim

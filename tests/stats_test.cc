@@ -6,6 +6,7 @@
 #include "stats/confusion.h"
 #include "stats/distributions.h"
 #include "stats/ewma.h"
+#include "stats/histogram.h"
 #include "stats/percentile.h"
 #include "stats/stump.h"
 #include "stats/summary.h"
@@ -51,10 +52,62 @@ TEST(Ewma, ConvergesToConstantInput) {
   EXPECT_NEAR(ewma.value(), 5.0, 1e-9);
 }
 
+// ----------------------------------------------------------- Histogram ----
+
+TEST(Histogram, EmptyMatchesPercentileContract) {
+  Histogram histogram({0.0, 10.0, 10});
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+}
+
+TEST(Histogram, OutOfRangeSamplesClampToEdgeBinsWithHonestExtremes) {
+  Histogram histogram({0.0, 10.0, 10});
+  histogram.Add(-5.0);
+  histogram.Add(25.0);
+  EXPECT_EQ(histogram.count(), 2);
+  EXPECT_DOUBLE_EQ(histogram.min(), -5.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 25.0);
+  // Quantiles are clamped to the observed extremes, never outside them.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100.0), 25.0);
+}
+
+TEST(Histogram, SingleBinValueIsRecovered) {
+  Histogram histogram({0.0, 100.0, 100});
+  for (int i = 0; i < 10; ++i) histogram.Add(42.5);
+  EXPECT_NEAR(histogram.Percentile(50.0), 42.5, 1.0);  // bin width 1.
+}
+
+TEST(Histogram, ResetForgets) {
+  Histogram histogram({0.0, 10.0, 10});
+  histogram.Add(3.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 0.0);
+}
+
 // ---------------------------------------------------------- Percentile ----
 
 TEST(Percentile, EmptyInputIsZero) {
   EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, EmptyInputContractHoldsEverywhere) {
+  // Regression for the documented empty-input contract: every percentile
+  // entry point returns 0.0 (not NaN, not UB) on empty samples, so callers
+  // summarising possibly-empty buckets need no guard of their own.
+  for (const double p : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({}, p), 0.0);
+  }
+  const std::vector<double> ps = {25.0, 50.0, 99.0};
+  const std::vector<double> out = Percentiles({}, ps);
+  ASSERT_EQ(out.size(), 3u);
+  for (const double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+  EmpiricalCdf cdf({});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.0);
 }
 
 TEST(Percentile, SingleElement) {
