@@ -7,6 +7,7 @@
 // Set KWIKR_CSV_DIR=<dir> to additionally dump every printed series/CDF as a
 // plot-ready CSV file named after the experiment.
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -16,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/exporters.h"
+#include "obs/metrics.h"
 #include "stats/percentile.h"
 
 namespace kwikr::bench {
@@ -42,15 +45,23 @@ inline std::string Slug(const std::string& text) {
 }
 
 /// Opens <KWIKR_CSV_DIR>/<experiment>_<kind>.csv, or nullptr when CSV export
-/// is off. The caller fcloses.
+/// is off. The caller fcloses. An unopenable path (missing directory, no
+/// permission) is reported on stderr instead of silently dropping the dump.
 inline std::FILE* OpenCsv(const char* kind) {
   const char* dir = std::getenv("KWIKR_CSV_DIR");
   if (dir == nullptr || *dir == '\0') return nullptr;
-  static int sequence = 0;
+  // Atomic: fleet-backed benches may export from worker threads when run
+  // with --jobs > 1.
+  static std::atomic<int> sequence{0};
   char path[512];
   std::snprintf(path, sizeof(path), "%s/%s_%02d_%s.csv", dir,
-                Slug(CurrentExperiment()).c_str(), sequence++, kind);
-  return std::fopen(path, "w");
+                Slug(CurrentExperiment()).c_str(),
+                sequence.fetch_add(1, std::memory_order_relaxed), kind);
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "KWIKR_CSV_DIR: cannot open %s for writing\n", path);
+  }
+  return file;
 }
 
 }  // namespace internal
@@ -78,6 +89,59 @@ inline int ParseIntFlag(int argc, char** argv, const char* flag,
 /// (1 = serial, 0 = one worker per hardware thread).
 inline int ParseJobs(int argc, char** argv, int fallback = 1) {
   return ParseIntFlag(argc, argv, "--jobs", fallback);
+}
+
+// --------------------------------------------------- observability flags ---
+
+/// Parses `<flag> <value>` from argv; returns `fallback` when absent.
+inline const char* ParseStringFlag(int argc, char** argv, const char* flag,
+                                   const char* fallback = nullptr) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// True when the shared `--metrics-out <file>` knob is present — benches use
+/// this to decide whether to plumb a registry through the run at all.
+inline bool MetricsRequested(int argc, char** argv) {
+  return ParseStringFlag(argc, argv, "--metrics-out") != nullptr;
+}
+
+/// Handles `--metrics-out <file>`: serializes the registry in Prometheus
+/// text format to the file ("-" = stdout). No-op without the flag.
+inline void ExportMetrics(int argc, char** argv,
+                          const obs::MetricsRegistry& registry) {
+  const char* path = ParseStringFlag(argc, argv, "--metrics-out");
+  if (path == nullptr) return;
+  if (std::strcmp(path, "-") == 0) {
+    std::fputs(obs::PrometheusText(registry).c_str(), stdout);
+    return;
+  }
+  if (obs::WritePrometheus(registry, path)) {
+    std::printf("metrics: wrote %zu series to %s\n", registry.size(), path);
+  }
+}
+
+/// Chrome-trace export directory from KWIKR_TRACE_DIR, or nullptr when the
+/// variable is unset/empty. Benches that support tracing attach an
+/// obs::ChromeTraceWriter to one example call and write
+/// <dir>/<experiment>_trace.json.
+inline const char* TraceDir() {
+  const char* dir = std::getenv("KWIKR_TRACE_DIR");
+  return (dir != nullptr && *dir != '\0') ? dir : nullptr;
+}
+
+/// Writes a Chrome trace to <KWIKR_TRACE_DIR>/<experiment>_trace.json.
+inline void ExportTrace(const obs::ChromeTraceWriter& writer) {
+  const char* dir = TraceDir();
+  if (dir == nullptr) return;
+  char path[512];
+  std::snprintf(path, sizeof(path), "%s/%s_trace.json", dir,
+                internal::Slug(internal::CurrentExperiment()).c_str());
+  if (writer.WriteJson(path)) {
+    std::printf("trace: wrote %zu events to %s\n", writer.events(), path);
+  }
 }
 
 /// Wall-clock stopwatch for the fleet timing records.

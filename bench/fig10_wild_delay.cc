@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/exporters.h"
 #include "scenario/wild_population.h"
 
 using namespace kwikr;
@@ -23,6 +24,11 @@ int main(int argc, char** argv) {
   config.base_seed = 1010;
   config.call_duration = sim::Seconds(60);
   config.jobs = bench::ParseJobs(argc, argv);
+
+  // --metrics-out: merged per-environment registry; every value in it is a
+  // simulated quantity, so the export is bit-identical for any --jobs.
+  obs::MetricsRegistry registry;
+  if (bench::MetricsRequested(argc, argv)) config.metrics = &registry;
 
   bench::WallTimer timer;
   const scenario::WildResults results = scenario::RunWildPopulation(config);
@@ -71,6 +77,9 @@ int main(int argc, char** argv) {
   if (config.jobs != 1 && bench::HasFlag(argc, argv, "--compare-serial")) {
     scenario::WildConfig serial = config;
     serial.jobs = 1;
+    // The reference run must not merge into the same registry twice.
+    serial.metrics = nullptr;
+    serial.fleet_metrics = nullptr;
     bench::WallTimer serial_timer;
     const scenario::WildResults serial_results =
         scenario::RunWildPopulation(serial);
@@ -96,5 +105,22 @@ int main(int argc, char** argv) {
   }
   bench::PrintFleetTiming("fig10_wild_delay", config.jobs, wall_ms,
                           config.calls, serial_wall_ms);
+  bench::ExportMetrics(argc, argv, registry);
+
+  // KWIKR_TRACE_DIR: Chrome-trace one example call (the Kwikr arm of the
+  // first environment's configuration) rather than the whole population.
+  if (bench::TraceDir() != nullptr) {
+    obs::ChromeTraceWriter writer;
+    obs::Tracer tracer;
+    tracer.SetSink(&writer);
+    scenario::ExperimentConfig example;
+    example.seed = config.base_seed;
+    example.duration = sim::Seconds(30);
+    example.sample_queue = true;
+    example.calls[0].kwikr = true;
+    example.tracer = &tracer;
+    scenario::RunCallExperiment(example);
+    bench::ExportTrace(writer);
+  }
   return 0;
 }

@@ -110,7 +110,8 @@ struct LoadStep {
 };
 
 std::size_t RunBand(wifi::Band band, const char* name,
-                    std::uint64_t seed_base, int jobs) {
+                    std::uint64_t seed_base, int jobs,
+                    obs::MetricsRegistry* registry) {
   // Light, non-saturating loads (idle and partial-rate UDP), then 1..7
   // saturating TCP cross flows, as in the paper's sweep.
   std::vector<LoadStep> steps;
@@ -151,6 +152,21 @@ std::size_t RunBand(wifi::Band band, const char* name,
   std::printf("%s", matrix.ToTableRows().c_str());
   std::printf("overall accuracy: %.1f%% (paper: ~90%%)\n",
               100.0 * matrix.accuracy());
+
+  if (registry != nullptr) {
+    const obs::Labels labels = {{"band", name}};
+    registry->GetCounter("table1_samples_total", labels).Add(all.size());
+    std::uint64_t persistent = 0;
+    for (const auto& s : all) persistent += s.positive ? 1 : 0;
+    registry->GetCounter("table1_persistent_total", labels).Add(persistent);
+    registry->GetCounter("table1_true_positives_total", labels)
+        .Add(static_cast<std::uint64_t>(matrix.true_positives()));
+    registry->GetCounter("table1_false_positives_total", labels)
+        .Add(static_cast<std::uint64_t>(matrix.false_positives()));
+    registry->GetGauge("table1_cv_accuracy", labels).Max(cv_accuracy);
+    registry->GetGauge("table1_threshold_ms", labels)
+        .Max(classifier.threshold_ms());
+  }
   return steps.size();
 }
 
@@ -161,12 +177,16 @@ int main(int argc, char** argv) {
                 "0..7 TCP cross flows; 30 labelled Ping-Pair measurements "
                 "per step;\nground truth: >= 90% non-empty AP queue samples.");
   const int jobs = bench::ParseJobs(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      bench::MetricsRequested(argc, argv) ? &registry : nullptr;
   bench::WallTimer timer;
   std::size_t steps = 0;
-  steps += RunBand(wifi::Band::k2_4GHz, "2.4 GHz", 1100, jobs);
-  steps += RunBand(wifi::Band::k5GHz, "5 GHz", 1200, jobs);
+  steps += RunBand(wifi::Band::k2_4GHz, "2.4 GHz", 1100, jobs, metrics);
+  steps += RunBand(wifi::Band::k5GHz, "5 GHz", 1200, jobs, metrics);
   std::printf("\n");
   bench::PrintFleetTiming("table1_confusion", jobs, timer.ElapsedMs(),
                           static_cast<long>(steps));
+  bench::ExportMetrics(argc, argv, registry);
   return 0;
 }

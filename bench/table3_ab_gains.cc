@@ -19,6 +19,9 @@ int main(int argc, char** argv) {
   config.call_duration = sim::Seconds(60);
   config.jobs = bench::ParseJobs(argc, argv);
 
+  obs::MetricsRegistry registry;
+  if (bench::MetricsRequested(argc, argv)) config.metrics = &registry;
+
   bench::WallTimer timer;
   const scenario::WildResults results = scenario::RunWildPopulation(config);
   const double wall_ms = timer.ElapsedMs();
@@ -51,6 +54,9 @@ int main(int argc, char** argv) {
   if (config.jobs != 1 && bench::HasFlag(argc, argv, "--compare-serial")) {
     scenario::WildConfig serial = config;
     serial.jobs = 1;
+    // The reference run must not merge into the same registry twice.
+    serial.metrics = nullptr;
+    serial.fleet_metrics = nullptr;
     bench::WallTimer serial_timer;
     scenario::RunWildPopulation(serial);
     serial_wall_ms = serial_timer.ElapsedMs();
@@ -59,5 +65,6 @@ int main(int argc, char** argv) {
   }
   bench::PrintFleetTiming("table3_ab_gains", config.jobs, wall_ms,
                           config.calls, serial_wall_ms);
+  bench::ExportMetrics(argc, argv, registry);
   return 0;
 }

@@ -69,6 +69,9 @@ int main(int argc, char** argv) {
                 "survey over\n171 APs (77% WMM prior, the paper's measured "
                 "value).");
   const int jobs = bench::ParseJobs(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      bench::MetricsRequested(argc, argv) ? &registry : nullptr;
   bench::WallTimer timer;
   long detections = 0;
 
@@ -157,6 +160,25 @@ int main(int argc, char** argv) {
               static_cast<long long>(survey.false_positives()),
               static_cast<long long>(survey.false_negatives()));
 
+  if (metrics != nullptr) {
+    metrics->GetCounter("wmm_accuracy_correct_total").Add(correct);
+    metrics->GetCounter("wmm_accuracy_runs_total")
+        .Add(static_cast<std::uint64_t>(std::size(models)) * 10);
+    metrics->GetCounter("wmm_survey_aps_total").Add(kSurveyAps);
+    metrics
+        ->GetCounter("wmm_survey_outcomes_total", {{"cell", "true_positive"}})
+        .Add(static_cast<std::uint64_t>(survey.true_positives()));
+    metrics
+        ->GetCounter("wmm_survey_outcomes_total", {{"cell", "false_positive"}})
+        .Add(static_cast<std::uint64_t>(survey.false_positives()));
+    metrics
+        ->GetCounter("wmm_survey_outcomes_total", {{"cell", "false_negative"}})
+        .Add(static_cast<std::uint64_t>(survey.false_negatives()));
+    metrics
+        ->GetCounter("wmm_survey_outcomes_total", {{"cell", "true_negative"}})
+        .Add(static_cast<std::uint64_t>(survey.true_negatives()));
+  }
+
   std::printf("\n--- ablation: idle AP (no ambient traffic) ---\n");
   const sim::Rng idle_root(5000);
   const auto idle = fleet::RunFleet(10, jobs, [&](std::size_t run) -> int {
@@ -173,5 +195,6 @@ int main(int argc, char** argv) {
               "Section 7.3).\n\n", idle_detected);
   bench::PrintFleetTiming("wmm_prevalence", jobs, timer.ElapsedMs(),
                           detections);
+  bench::ExportMetrics(argc, argv, registry);
   return 0;
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repo verification gate:
+#   1. tier-1: configure + build + full ctest in ./build
+#   2. concurrency: rebuild the observability + fleet tests under
+#      ThreadSanitizer (-DKWIKR_SANITIZE=thread) and run `ctest -L obs`
+#      (the label covers obs_test and fleet_test, the two suites exercising
+#      the shared-registry merge paths).
+#
+# Usage: scripts/check.sh [--no-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_tsan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    *) echo "usage: scripts/check.sh [--no-tsan]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== tsan: obs + fleet tests under ThreadSanitizer =="
+  cmake -B build-tsan -S . -DKWIKR_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs" --target obs_test fleet_test
+  ctest --test-dir build-tsan -L obs --output-on-failure -j "$jobs"
+fi
+
+echo "check.sh: all green"

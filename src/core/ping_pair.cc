@@ -50,7 +50,8 @@ void PingPairProber::StartRound() {
   SendPair(round, 0);
   if (config_.dual) SendPair(round, 1);
 
-  round.timeout_event = loop_.ScheduleIn(config_.timeout, [this, id] {
+  round.timeout_event =
+      loop_.ScheduleIn(config_.timeout, "probe.timeout", [this, id] {
     auto it = rounds_.find(id);
     if (it == rounds_.end()) return;
     ++stats_.timeouts;

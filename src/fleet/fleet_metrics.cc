@@ -42,6 +42,11 @@ void FleetMetrics::MergeHistogram(std::string_view key,
   it->second.Merge(other);
 }
 
+void FleetMetrics::MergeRegistry(const obs::MetricsRegistry& other) {
+  // The registry has its own synchronization; no need for mutex_ here.
+  registry_.Merge(other);
+}
+
 stats::RunningSummary FleetMetrics::Summary(std::string_view key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = summaries_.find(key);

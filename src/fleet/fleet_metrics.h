@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.h"
 #include "stats/confusion.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
@@ -29,16 +30,28 @@ class FleetMetrics {
                       const stats::ConfusionMatrix& other);
   void MergeHistogram(std::string_view key, const stats::Histogram& other);
 
+  /// Merges a worker-local obs::MetricsRegistry into the shared one — the
+  /// registry counterpart of the reducer merges above, with the same
+  /// associativity/commutativity contract (see obs::MetricsRegistry).
+  void MergeRegistry(const obs::MetricsRegistry& other);
+
   /// Snapshot accessors; a key never merged into returns an empty reducer.
   [[nodiscard]] stats::RunningSummary Summary(std::string_view key) const;
   [[nodiscard]] stats::ConfusionMatrix Confusion(std::string_view key) const;
   [[nodiscard]] stats::Histogram HistogramSketch(std::string_view key) const;
+
+  /// The shared registry (itself thread-safe; usable directly).
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& registry() const {
+    return registry_;
+  }
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, stats::RunningSummary, std::less<>> summaries_;
   std::map<std::string, stats::ConfusionMatrix, std::less<>> confusions_;
   std::map<std::string, stats::Histogram, std::less<>> histograms_;
+  obs::MetricsRegistry registry_;
 };
 
 }  // namespace kwikr::fleet

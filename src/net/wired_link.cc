@@ -25,12 +25,12 @@ void WiredLink::StartTransmission() {
   const Packet& head = queue_.front();
   const sim::Duration tx = sim::TransmissionTime(
       static_cast<std::int64_t>(head.size_bytes) * 8, config_.rate_bps);
-  loop_.ScheduleIn(tx, [this] {
+  loop_.ScheduleIn(tx, "net.wire_tx", [this] {
     Packet packet = std::move(queue_.front());
     queue_.pop_front();
     ++delivered_;
     // Propagation happens in parallel with the next serialization.
-    loop_.ScheduleIn(config_.propagation,
+    loop_.ScheduleIn(config_.propagation, "net.wire_prop",
                      [this, packet = std::move(packet)]() mutable {
                        receiver_(std::move(packet));
                      });

@@ -1,0 +1,24 @@
+#include "obs/span.h"
+
+namespace kwikr::obs {
+
+void EventLoopMetricsProbe::OnExecuted(const char* type, sim::Time /*at*/,
+                                       double wall_us) {
+  auto it = by_type_.find(std::string_view(type));
+  if (it == by_type_.end()) {
+    Cells cells;
+    cells.count = &registry_->GetCounter("sim_events_total", {{"type", type}});
+    stats::Histogram::Config wall_config;
+    wall_config.lo = 0.0;
+    wall_config.hi = 1000.0;  // microseconds; handlers are short.
+    wall_config.bins = 128;
+    cells.wall = &registry_->GetHistogram("sim_event_wall_us",
+                                          {{"type", type}}, wall_config);
+    it = by_type_.emplace(std::string(type), cells).first;
+  }
+  it->second.count->Add();
+  it->second.wall->Observe(wall_us);
+  ++total_;
+}
+
+}  // namespace kwikr::obs

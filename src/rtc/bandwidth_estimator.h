@@ -44,6 +44,11 @@ class BandwidthEstimator {
   /// Last raw min-tracked one-way queueing delay observation, seconds.
   [[nodiscard]] double last_observed_delay_s() const { return last_delay_s_; }
 
+  /// Innovation of the filter's most recent update, seconds (obs hook).
+  [[nodiscard]] double last_innovation_s() const {
+    return ukf_.last_innovation_s();
+  }
+
   /// Forgets the path-learned one-way-delay baseline. Call on a handoff:
   /// the minimum encodes the *old* path's propagation + clock offset and
   /// would mis-baseline every delay observation on the new one.

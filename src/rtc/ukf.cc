@@ -128,6 +128,7 @@ void LeakyBucketUkf::Update(double delay_s, double packet_bytes,
   }
 
   const double innovation = delay_s - y_mean - noise_mean;
+  last_innovation_s_ = innovation;
   const Vec2 gain = {pxy[0] / pyy, pxy[1] / pyy};
 
   bw_ = mean[0] + gain[0] * innovation;

@@ -61,6 +61,11 @@ class LeakyBucketUkf {
   [[nodiscard]] double bandwidth_bytes_per_s() const { return bw_; }
   [[nodiscard]] double queue_bytes() const { return q_; }
   [[nodiscard]] double bandwidth_variance() const { return p_[0][0]; }
+  /// Innovation (residual) of the most recent Update: observed delay minus
+  /// the predicted observation, seconds. The observability layer samples
+  /// this to watch filter health (large sustained innovations mean the
+  /// model is fighting the measurements).
+  [[nodiscard]] double last_innovation_s() const { return last_innovation_s_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
@@ -73,6 +78,7 @@ class LeakyBucketUkf {
   double bw_;  ///< bytes per second.
   double q_;   ///< bytes.
   Mat2 p_;     ///< state covariance.
+  double last_innovation_s_ = 0.0;
 };
 
 }  // namespace kwikr::rtc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "stats/summary.h"
 
@@ -30,12 +31,31 @@ double MeanOfRange(const std::vector<double>& series, std::size_t begin,
   return sum / static_cast<double>(end - begin);
 }
 
+/// The experiment-wide labels plus the per-call arm tag.
+obs::Labels WithArm(const obs::Labels& base, bool kwikr) {
+  obs::Labels labels = base;
+  labels.emplace_back("arm", kwikr ? "kwikr" : "baseline");
+  return labels;
+}
+
 }  // namespace
 
 ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
   Testbed::Config tb_config;
   tb_config.seed = config.seed;
   Testbed testbed(tb_config);
+
+  obs::MetricsRegistry* metrics = config.metrics;
+  obs::Tracer inert_tracer;  // stands in when the caller passed none.
+  obs::Tracer& tracer =
+      config.tracer != nullptr ? *config.tracer : inert_tracer;
+  tracer.BindLoop(&testbed.loop());
+
+  std::unique_ptr<obs::EventLoopMetricsProbe> loop_probe;
+  if (config.profile_loop && metrics != nullptr) {
+    loop_probe = std::make_unique<obs::EventLoopMetricsProbe>(*metrics);
+    testbed.loop().SetProbe(loop_probe.get());
+  }
 
   Bss::Config bss_config;
   bss_config.ap.address = kApBaseAddress;
@@ -94,18 +114,91 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
           call.adapter->CrossTrafficProvider());
     }
 
+    // Observability: per-arm probe-sample and hint instrumentation. All
+    // metric values derive from simulated quantities, keeping the registry
+    // deterministic; the tracer adds sim-time instants in the "probe" and
+    // "hint" categories.
+    obs::HistogramCell* tq_hist = nullptr;
+    obs::HistogramCell* tc_hist = nullptr;
+    obs::HistogramCell* innovation_hist = nullptr;
+    obs::Counter* hint_congested = nullptr;
+    obs::Counter* hint_clear = nullptr;
+    if (metrics != nullptr) {
+      const obs::Labels arm = WithArm(config.metric_labels, cc.kwikr);
+      tq_hist = &metrics->GetHistogram("probe_tq_ms", arm, {0.0, 500.0, 250});
+      tc_hist = &metrics->GetHistogram("probe_tc_ms", arm, {0.0, 500.0, 250});
+      innovation_hist = &metrics->GetHistogram("rtc_innovation_ms", arm,
+                                               {-250.0, 250.0, 250});
+      obs::Labels congested = arm;
+      congested.emplace_back("congested", "true");
+      obs::Labels clear = arm;
+      clear.emplace_back("congested", "false");
+      hint_congested = &metrics->GetCounter("kwikr_hints_total", congested);
+      hint_clear = &metrics->GetCounter("kwikr_hints_total", clear);
+    }
+    obs::Tracer* tracer_ptr = &tracer;
+    call.prober->AddSampleCallback(
+        [tq_hist, tc_hist, tracer_ptr](const core::PingPairSample& s) {
+          if (tq_hist != nullptr) {
+            tq_hist->Observe(sim::ToMillis(s.tq));
+            tc_hist->Observe(sim::ToMillis(s.tc));
+          }
+          if (tracer_ptr->enabled()) {
+            tracer_ptr->InstantAt(
+                "ping_pair_sample", "probe", s.completed_at,
+                {{"tq_ms", sim::ToMillis(s.tq)},
+                 {"ta_ms", sim::ToMillis(s.ta)},
+                 {"tc_ms", sim::ToMillis(s.tc)},
+                 {"sandwiched", static_cast<double>(s.sandwiched)},
+                 {"max_reply_tx",
+                  static_cast<double>(s.max_reply_transmissions)}});
+          }
+        });
+    call.adapter->AddHintCallback(
+        [hint_congested, hint_clear, tracer_ptr](const core::WifiHint& hint) {
+          if (hint_congested != nullptr) {
+            (hint.congested ? hint_congested : hint_clear)->Add();
+          }
+          if (tracer_ptr->enabled()) {
+            tracer_ptr->InstantAt(
+                hint.congested ? "hint_congested" : "hint_clear", "hint",
+                hint.at,
+                {{"smoothed_tq_ms", hint.smoothed_tq_ms},
+                 {"smoothed_tc_ms", hint.smoothed_tc_ms}});
+          }
+        });
+
     // Client receive path: media -> receiver + prober flow log; ICMP ->
-    // prober replies.
+    // prober replies. With a registry attached, count media packets and
+    // MAC-level retried frames (packet.mac.retry is the capture-interface
+    // bit the paper's Linux tool reads).
     rtc::MediaReceiver* receiver = call.receiver.get();
     core::PingPairProber* prober = call.prober.get();
+    obs::Counter* rx_packets = nullptr;
+    obs::Counter* rx_retry_frames = nullptr;
+    if (metrics != nullptr) {
+      const obs::Labels arm = WithArm(config.metric_labels, cc.kwikr);
+      rx_packets = &metrics->GetCounter("media_rx_packets_total", arm);
+      rx_retry_frames =
+          &metrics->GetCounter("media_rx_retry_frames_total", arm);
+    }
     call.station->AddReceiver(
-        [receiver, prober](const net::Packet& packet, sim::Time arrival) {
+        [receiver, prober, rx_packets, rx_retry_frames, innovation_hist](
+            const net::Packet& packet, sim::Time arrival) {
           if (packet.protocol == net::Protocol::kIcmp) {
             prober->OnReply(packet, arrival);
             return;
           }
+          if (rx_packets != nullptr) {
+            rx_packets->Add();
+            if (packet.mac.retry) rx_retry_frames->Add();
+          }
           prober->OnFlowPacket(packet, arrival);
           receiver->OnPacket(packet, arrival);
+          if (innovation_hist != nullptr) {
+            innovation_hist->Observe(
+                receiver->estimator().last_innovation_s() * 1000.0);
+          }
         });
 
     // Wired side: feedback reports reach the media sender.
@@ -172,12 +265,79 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
   std::vector<std::size_t> queue_samples;
   std::unique_ptr<sim::PeriodicTimer> queue_sampler;
   if (config.sample_queue) {
+    obs::HistogramCell* queue_hist =
+        metrics != nullptr
+            ? &metrics->GetHistogram("ap_be_queue_depth", config.metric_labels,
+                                     {0.0, 300.0, 300})
+            : nullptr;
     queue_sampler = std::make_unique<sim::PeriodicTimer>(
-        testbed.loop(), config.queue_sample_interval, [&queue_samples, &bss] {
-          queue_samples.push_back(bss.ap().DownlinkQueueLength(
-              wifi::AccessCategory::kBestEffort));
+        testbed.loop(), config.queue_sample_interval,
+        [&queue_samples, &bss, queue_hist] {
+          const std::size_t depth = bss.ap().DownlinkQueueLength(
+              wifi::AccessCategory::kBestEffort);
+          queue_samples.push_back(depth);
+          if (queue_hist != nullptr) {
+            queue_hist->Observe(static_cast<double>(depth));
+          }
         });
     queue_sampler->Start();
+  }
+
+  // --- Trace sampler -------------------------------------------------------
+  // Periodic counter tracks for the Chrome trace viewer: per-AC AP queue
+  // depth, channel state, the first call's rate-control state, and TCP
+  // flight size. Only scheduled when a sink is attached, so traced and
+  // untraced runs of the same config share an event schedule prefix only —
+  // never compare their registries.
+  std::unique_ptr<sim::PeriodicTimer> trace_sampler;
+  if (tracer.enabled()) {
+    std::uint64_t last_collisions = 0;
+    trace_sampler = std::make_unique<sim::PeriodicTimer>(
+        testbed.loop(), config.trace_sample_interval,
+        [&tracer, &testbed, &bss, &calls, last_collisions]() mutable {
+          wifi::AccessPoint& ap = bss.ap();
+          tracer.Counter(
+              "ap_queue_depth", "queue",
+              {{"BK", static_cast<double>(ap.DownlinkQueueLength(
+                          wifi::AccessCategory::kBackground))},
+               {"BE", static_cast<double>(ap.DownlinkQueueLength(
+                          wifi::AccessCategory::kBestEffort))},
+               {"VI", static_cast<double>(ap.DownlinkQueueLength(
+                          wifi::AccessCategory::kVideo))},
+               {"VO", static_cast<double>(ap.DownlinkQueueLength(
+                          wifi::AccessCategory::kVoice))}});
+          const std::uint64_t collisions = testbed.channel().collisions();
+          tracer.Counter(
+              "channel", "wifi",
+              {{"busy_pct", testbed.channel().BusyFraction() * 100.0},
+               {"collisions_delta",
+                static_cast<double>(collisions - last_collisions)}});
+          last_collisions = collisions;
+          if (!calls.empty()) {
+            const LiveCall& call = calls.front();
+            tracer.Counter(
+                "rate_control", "rtc",
+                {{"target_kbps",
+                  static_cast<double>(call.receiver->target_rate_bps()) /
+                      1000.0},
+                 {"innovation_ms",
+                  call.receiver->estimator().last_innovation_s() * 1000.0}});
+          }
+          const auto& flows = testbed.cross_flows();
+          if (!flows.empty()) {
+            std::uint64_t in_flight = 0;
+            double max_cwnd = 0.0;
+            for (const auto& flow : flows) {
+              in_flight += flow->sender->in_flight();
+              max_cwnd = std::max(max_cwnd,
+                                  static_cast<double>(flow->sender->cwnd()));
+            }
+            tracer.Counter("tcp_cross", "tcp",
+                           {{"in_flight", static_cast<double>(in_flight)},
+                            {"max_cwnd", max_cwnd}});
+          }
+        });
+    trace_sampler->Start();
   }
 
   // --- Run -----------------------------------------------------------------
@@ -186,20 +346,69 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
     call.receiver->Start();
     call.prober->Start();
   }
-  testbed.loop().RunUntil(config.duration);
+  {
+    obs::ScopedSpan run_span(tracer, "call_experiment", "experiment");
+    run_span.AddArg("duration_s", sim::ToSeconds(config.duration));
+    run_span.AddArg("calls", static_cast<double>(calls.size()));
+    testbed.loop().RunUntil(config.duration);
+  }
   for (auto& call : calls) {
     call.sender->Stop();
     call.receiver->Stop();
     call.prober->Stop();
   }
+  if (loop_probe != nullptr) testbed.loop().SetProbe(nullptr);
 
   // --- Collect -------------------------------------------------------------
-  ExperimentMetrics metrics;
-  metrics.channel_busy_fraction = testbed.channel().BusyFraction();
-  metrics.cross_traffic_bytes = testbed.CrossTrafficBytesReceived();
-  metrics.tcp_rate_series_kbps = std::move(tcp_rate_series);
-  metrics.queue_samples = std::move(queue_samples);
-  for (auto& call : calls) {
+  ExperimentMetrics result;
+  result.channel_busy_fraction = testbed.channel().BusyFraction();
+  result.cross_traffic_bytes = testbed.CrossTrafficBytesReceived();
+  result.tcp_rate_series_kbps = std::move(tcp_rate_series);
+  result.queue_samples = std::move(queue_samples);
+
+  // Environment-wide deterministic scrape: EDCA contention, per-AC AP queue
+  // outcomes, and TCP cross-traffic health.
+  if (metrics != nullptr) {
+    const obs::Labels& env = config.metric_labels;
+    metrics->GetCounter("experiments_total", env).Add();
+    metrics->GetCounter("wifi_collisions_total", env)
+        .Add(testbed.channel().collisions());
+    metrics->GetCounter("wifi_txop_continuations_total", env)
+        .Add(testbed.channel().txop_continuations());
+    metrics->GetGauge("wifi_busy_fraction_max", env)
+        .Max(testbed.channel().BusyFraction());
+    for (int ac = 0; ac < wifi::kNumAccessCategories; ++ac) {
+      const auto category = static_cast<wifi::AccessCategory>(ac);
+      obs::Labels labels = env;
+      labels.emplace_back("ac", wifi::Name(category));
+      metrics->GetCounter("ap_queue_drops_total", labels)
+          .Add(bss.ap().DownlinkQueueDrops(category));
+      metrics->GetCounter("ap_retry_drops_total", labels)
+          .Add(bss.ap().DownlinkRetryDrops(category));
+      metrics->GetCounter("ap_delivered_total", labels)
+          .Add(bss.ap().DownlinkDelivered(category));
+    }
+    std::uint64_t retransmissions = 0;
+    std::uint64_t tcp_timeouts = 0;
+    std::uint64_t segments_acked = 0;
+    for (const auto* flows :
+         {&testbed.cross_flows(), &testbed.unmanaged_flows()}) {
+      for (const auto& flow : *flows) {
+        retransmissions += flow->sender->retransmissions();
+        tcp_timeouts += flow->sender->timeouts();
+        segments_acked += flow->sender->segments_acked();
+      }
+    }
+    metrics->GetCounter("tcp_retransmissions_total", env).Add(retransmissions);
+    metrics->GetCounter("tcp_timeouts_total", env).Add(tcp_timeouts);
+    metrics->GetCounter("tcp_segments_acked_total", env).Add(segments_acked);
+    metrics->GetCounter("cross_traffic_bytes_total", env)
+        .Add(static_cast<std::uint64_t>(result.cross_traffic_bytes));
+  }
+
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    auto& call = calls[i];
+    const CallConfig& cc = config.calls[i];
     CallMetrics m;
     m.rate_series_kbps = call.receiver->rate_series_kbps();
     m.mean_rate_kbps = MeanOfRange(m.rate_series_kbps, 0,
@@ -218,9 +427,37 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
     m.late_frame_pct = call.receiver->jitter_buffer().late_fraction() * 100.0;
     m.probe_samples = call.prober->samples();
     m.probe_stats = call.prober->stats();
-    metrics.calls.push_back(std::move(m));
+
+    // Per-arm deterministic scrape: probing outcomes (including every
+    // discard reason), estimator activity, and call quality sketches.
+    if (metrics != nullptr) {
+      const obs::Labels arm = WithArm(config.metric_labels, cc.kwikr);
+      metrics->GetCounter("calls_total", arm).Add();
+      metrics->GetCounter("probe_rounds_total", arm).Add(m.probe_stats.rounds);
+      metrics->GetCounter("probe_valid_total", arm).Add(m.probe_stats.valid);
+      const std::pair<const char*, std::uint64_t> discards[] = {
+          {"timeout", m.probe_stats.timeouts},
+          {"wrong_order", m.probe_stats.wrong_order},
+          {"dual_divergence", m.probe_stats.dual_divergence},
+          {"dual_gap", m.probe_stats.dual_gap},
+      };
+      for (const auto& [reason, count] : discards) {
+        obs::Labels labels = arm;
+        labels.emplace_back("reason", reason);
+        metrics->GetCounter("probe_discards_total", labels).Add(count);
+      }
+      metrics->GetCounter("rtc_estimator_updates_total", arm)
+          .Add(static_cast<std::uint64_t>(call.receiver->estimator().updates()));
+      metrics->GetHistogram("call_mean_rate_kbps", arm, {0.0, 3000.0, 300})
+          .Observe(m.mean_rate_kbps);
+      metrics->GetHistogram("call_loss_pct", arm, {0.0, 100.0, 200})
+          .Observe(m.loss_pct);
+      metrics->GetHistogram("call_late_frame_pct", arm, {0.0, 100.0, 200})
+          .Observe(m.late_frame_pct);
+    }
+    result.calls.push_back(std::move(m));
   }
-  return metrics;
+  return result;
 }
 
 }  // namespace kwikr::scenario

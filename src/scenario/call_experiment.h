@@ -6,6 +6,8 @@
 
 #include "core/kwikr.h"
 #include "core/ping_pair.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "rtc/controller.h"
 #include "rtc/media.h"
 #include "scenario/testbed.h"
@@ -64,6 +66,22 @@ struct ExperimentConfig {
   // Ground-truth sampling of the AP Best-Effort downlink queue.
   bool sample_queue = false;
   sim::Duration queue_sample_interval = sim::Millis(10);
+
+  // Observability (all optional; absent = zero overhead on the hot paths).
+  //
+  // `metrics` receives only deterministic series (counters of simulated
+  // events, sim-time histograms, gauges of sim-derived values), so a merged
+  // registry is bit-identical across worker counts. `tracer` events and the
+  // `profile_loop` wall-time histograms are wall-clock-tainted and must stay
+  // out of registries that are compared across runs.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;  ///< bound to this experiment's loop.
+  sim::Duration trace_sample_interval = sim::Millis(100);
+  /// Extra labels stamped on every series (e.g. {{"env", "3"}}).
+  obs::Labels metric_labels = {};
+  /// Attach an obs::EventLoopMetricsProbe (per-event-type counts + wall-us
+  /// histograms) to the loop. Requires `metrics`; nondeterministic.
+  bool profile_loop = false;
 
   // The calls sharing this environment (usually one; two for Table 2).
   std::vector<CallConfig> calls = {CallConfig{}};

@@ -137,6 +137,17 @@ class Testbed {
   /// Sum of cross-flow goodput, bytes.
   [[nodiscard]] std::int64_t CrossTrafficBytesReceived() const;
 
+  /// Observability accessors: the managed cross flows (AddTcpBulkFlows with
+  /// managed = true) and the self-driven ones (foreground TCP).
+  [[nodiscard]] const std::vector<std::unique_ptr<CrossFlow>>& cross_flows()
+      const {
+    return cross_flows_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<CrossFlow>>&
+  unmanaged_flows() const {
+    return unmanaged_flows_;
+  }
+
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] wifi::Channel& channel() { return *channel_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }

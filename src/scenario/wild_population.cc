@@ -1,6 +1,7 @@
 #include "scenario/wild_population.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/rng.h"
 #include "stats/percentile.h"
@@ -57,10 +58,11 @@ double SamplePercentileMs(const std::vector<core::PingPairSample>& samples,
 /// One environment end to end. All randomness flows from `call_rng` — a
 /// per-index fork of the population RNG — so environments are independent
 /// tasks the fleet runner can execute on any worker in any order.
-WildCallResult RunOneEnvironment(const WildConfig& config,
-                                 sim::Rng call_rng) {
+WildCallResult RunOneEnvironment(const WildConfig& config, sim::Rng call_rng,
+                                 obs::MetricsRegistry* metrics) {
   const std::uint64_t call_seed = call_rng.Next();
   ExperimentConfig experiment = DrawEnvironment(call_rng, config, call_seed);
+  experiment.metrics = metrics;  // worker-local; merged by the caller.
 
   // Paired A/B under common random numbers: the environment (seed,
   // topology, congestion schedule) is identical; only the adaptation arm
@@ -95,11 +97,33 @@ WildCallResult RunOneEnvironment(const WildConfig& config,
 
 WildResults RunWildPopulation(const WildConfig& config) {
   const sim::Rng base_rng(config.base_seed);
+  const bool observed =
+      config.metrics != nullptr || config.fleet_metrics != nullptr;
+  // Stage registry for the merge-once-per-task pattern; the caller's
+  // FleetMetrics doubles as the stage when provided.
+  fleet::FleetMetrics local_stage;
+  fleet::FleetMetrics* stage =
+      config.fleet_metrics != nullptr ? config.fleet_metrics : &local_stage;
+
   auto report = fleet::RunFleet(
       static_cast<std::size_t>(std::max(config.calls, 0)), config.jobs,
       [&](std::size_t index) {
-        return RunOneEnvironment(config, base_rng.Fork(index));
+        if (!observed) {
+          return RunOneEnvironment(config, base_rng.Fork(index), nullptr);
+        }
+        const auto wall_begin = std::chrono::steady_clock::now();
+        obs::MetricsRegistry local;
+        WildCallResult r =
+            RunOneEnvironment(config, base_rng.Fork(index), &local);
+        stage->MergeRegistry(local);
+        stats::RunningSummary wall;
+        wall.Add(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - wall_begin)
+                     .count());
+        stage->MergeSummary("task_wall_ms", wall);
+        return r;
       });
+  if (config.metrics != nullptr) config.metrics->Merge(stage->registry());
 
   WildResults results;
   results.calls = std::move(report.results);

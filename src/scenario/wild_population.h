@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fleet/fleet_metrics.h"
 #include "fleet/fleet_runner.h"
 #include "scenario/call_experiment.h"
 
@@ -24,6 +25,16 @@ struct WildConfig {
   /// seeded from `base_seed` and its own index, so results are bit-identical
   /// for any value of `jobs`.
   int jobs = 1;
+
+  /// Optional observability sinks. Each environment accumulates simulated
+  /// counters/histograms into its own worker-local registry which is merged
+  /// once when the task completes — since every merge rule is associative
+  /// and commutative, the aggregate in `metrics` is bit-identical for any
+  /// `jobs`. Wall-clock per-task timing is inherently nondeterministic and
+  /// therefore goes to `fleet_metrics` as the "task_wall_ms" summary, never
+  /// into the registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  fleet::FleetMetrics* fleet_metrics = nullptr;
 };
 
 /// Outcome of one environment (paired calls).

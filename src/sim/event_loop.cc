@@ -1,19 +1,23 @@
 #include "sim/event_loop.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace kwikr::sim {
 
-EventId EventLoop::ScheduleAt(Time at, std::function<void()> fn) {
+EventId EventLoop::ScheduleAt(Time at, const char* type,
+                              std::function<void()> fn) {
   const EventId id = next_id_++;
-  queue_.push(Event{std::max(at, now_), id, std::move(fn)});
+  queue_.push(Event{std::max(at, now_), id, type, std::move(fn)});
   live_.insert(id);
   return id;
 }
 
-EventId EventLoop::ScheduleIn(Duration delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + std::max<Duration>(delay, 0), std::move(fn));
+EventId EventLoop::ScheduleIn(Duration delay, const char* type,
+                              std::function<void()> fn) {
+  return ScheduleAt(now_ + std::max<Duration>(delay, 0), type,
+                    std::move(fn));
 }
 
 bool EventLoop::Cancel(EventId id) {
@@ -35,7 +39,17 @@ bool EventLoop::PopAndRun() {
     live_.erase(event.id);
     now_ = event.at;
     ++executed_;
-    event.fn();
+    if (probe_ == nullptr) {
+      event.fn();
+    } else {
+      const auto wall_begin = std::chrono::steady_clock::now();
+      event.fn();
+      const double wall_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - wall_begin)
+              .count();
+      probe_->OnExecuted(event.type, now_, wall_us);
+    }
     return true;
   }
   return false;
@@ -66,7 +80,7 @@ PeriodicTimer::~PeriodicTimer() { Stop(); }
 void PeriodicTimer::Start(Duration initial_delay) {
   Stop();
   running_ = true;
-  pending_ = loop_.ScheduleIn(initial_delay, [this] { Fire(); });
+  pending_ = loop_.ScheduleIn(initial_delay, "timer", [this] { Fire(); });
 }
 
 void PeriodicTimer::Stop() {
@@ -78,7 +92,7 @@ void PeriodicTimer::Stop() {
 }
 
 void PeriodicTimer::Fire() {
-  pending_ = loop_.ScheduleIn(period_, [this] { Fire(); });
+  pending_ = loop_.ScheduleIn(period_, "timer", [this] { Fire(); });
   fn_();
 }
 

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <utility>
 
+#include "obs/exporters.h"
+
 namespace kwikr::trace {
 
 void Recorder::Record(sim::Time at, std::string type,
@@ -62,11 +64,13 @@ std::string Recorder::ToJson(const Event& event) {
   std::snprintf(buffer, sizeof(buffer), "%.6f", sim::ToSeconds(event.at));
   json += buffer;
   json += ",\"type\":\"";
-  json += event.type;
+  // Types and field keys are caller-supplied strings: escape them so a
+  // quote, backslash, or control character can't corrupt the output line.
+  json += obs::JsonEscape(event.type);
   json += "\"";
   for (const auto& [key, value] : event.fields) {
     json += ",\"";
-    json += key;
+    json += obs::JsonEscape(key);
     json += "\":";
     std::snprintf(buffer, sizeof(buffer), "%g", value);
     json += buffer;
@@ -82,6 +86,12 @@ bool Recorder::WriteJsonl(const std::string& path) const {
     const std::string line = ToJson(event);
     std::fwrite(line.data(), 1, line.size(), file);
     std::fputc('\n', file);
+  }
+  // Make capped-buffer data loss visible in the artifact itself instead of
+  // silently truncating the recording.
+  if (dropped_ > 0) {
+    std::fprintf(file, "{\"type\":\"trace_dropped\",\"count\":%zu}\n",
+                 dropped_);
   }
   std::fclose(file);
   return true;

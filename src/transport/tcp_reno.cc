@@ -81,7 +81,7 @@ void TcpRenoSender::ArmRto() {
   if (rto_event_ != 0) loop_.Cancel(rto_event_);
   const sim::Duration timeout =
       std::min(config_.max_rto, rto_ << rto_backoff_);
-  rto_event_ = loop_.ScheduleIn(timeout, [this] {
+  rto_event_ = loop_.ScheduleIn(timeout, "tcp.rto", [this] {
     rto_event_ = 0;
     OnRto();
   });

@@ -75,6 +75,18 @@ std::uint64_t AccessPoint::downlink_queue_drops() const {
   return total;
 }
 
+std::uint64_t AccessPoint::DownlinkQueueDrops(AccessCategory ac) const {
+  return channel_.QueueDrops(downlink_[Index(ac)]);
+}
+
+std::uint64_t AccessPoint::DownlinkRetryDrops(AccessCategory ac) const {
+  return channel_.RetryDrops(downlink_[Index(ac)]);
+}
+
+std::uint64_t AccessPoint::DownlinkDelivered(AccessCategory ac) const {
+  return channel_.Delivered(downlink_[Index(ac)]);
+}
+
 void AccessPoint::OnUplinkFrame(Frame frame) {
   net::Packet& packet = frame.packet;
   if (packet.dst == config_.address) {

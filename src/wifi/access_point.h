@@ -73,6 +73,11 @@ class AccessPoint {
   [[nodiscard]] std::size_t TotalDownlinkQueueLength() const;
 
   [[nodiscard]] std::uint64_t downlink_queue_drops() const;
+  /// Per-AC observability accessors: tail drops, retry-limit drops, and
+  /// frames delivered on one downlink queue.
+  [[nodiscard]] std::uint64_t DownlinkQueueDrops(AccessCategory ac) const;
+  [[nodiscard]] std::uint64_t DownlinkRetryDrops(AccessCategory ac) const;
+  [[nodiscard]] std::uint64_t DownlinkDelivered(AccessCategory ac) const;
   [[nodiscard]] std::uint64_t unroutable_drops() const {
     return unroutable_drops_;
   }

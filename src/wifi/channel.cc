@@ -134,7 +134,7 @@ void Channel::ScheduleArbitration() {
   if (earliest == std::numeric_limits<sim::Time>::max()) return;
   scheduled_start_ = earliest;
   arbitration_event_ =
-      loop_.ScheduleAt(earliest, [this, earliest] {
+      loop_.ScheduleAt(earliest, "wifi.arbitration", [this, earliest] {
         arbitration_event_ = 0;
         scheduled_start_ = -1;
         StartTransmissions(earliest);
@@ -208,7 +208,7 @@ void Channel::StartTransmissions(sim::Time start) {
   busy_started_ = start;
   busy_until_ = end;
 
-  loop_.ScheduleAt(end, [this, transmitters, start, end] {
+  loop_.ScheduleAt(end, "wifi.tx_done", [this, transmitters, start, end] {
     FinishTransmissions(transmitters, start, end);
   });
 }
@@ -244,7 +244,7 @@ void Channel::FinishTransmissions(const std::vector<ContenderId>& transmitters,
           // Burst frames are SIFS-separated inside the TXOP.
           busy_until_ = end + phy_.sifs + airtime;
           const std::vector<ContenderId> burst = {id};
-          loop_.ScheduleAt(busy_until_, [this, burst, end, until =
+          loop_.ScheduleAt(busy_until_, "wifi.txop_burst", [this, burst, end, until =
                                          busy_until_] {
             FinishTransmissions(burst, end, until);
           });
@@ -316,7 +316,7 @@ void Channel::HandleSuccess(ContenderId id, sim::Time end) {
     // Deliver at the end of the frame (now). Scheduled rather than called
     // inline so receiver actions (e.g. an ICMP reply enqueue) observe a
     // consistent channel state.
-    loop_.ScheduleAt(end, [this, dest, frame = std::move(frame)]() mutable {
+    loop_.ScheduleAt(end, "wifi.deliver", [this, dest, frame = std::move(frame)]() mutable {
       owners_[dest].on_delivery(std::move(frame));
     });
   }

@@ -1,0 +1,436 @@
+// Tests for the unified observability layer (src/obs): registry semantics,
+// merge associativity/worker-count invariance, exporter validity, and the
+// zero-cost disabled paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <set>
+#include <string>
+
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "scenario/wild_population.h"
+#include "sim/event_loop.h"
+
+namespace kwikr {
+namespace {
+
+// ------------------------------------------------ allocation counter ------
+// Global operator new/delete replacements counting heap allocations, used to
+// prove the disabled tracer path allocates nothing. The counter covers the
+// whole binary (including fleet worker threads), so it must be atomic, and
+// tests sample it immediately around the code under test.
+
+std::atomic<std::size_t> g_allocations{0};
+
+}  // namespace
+}  // namespace kwikr
+
+void* operator new(std::size_t size) {
+  kwikr::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace kwikr {
+namespace {
+
+// --------------------------------------------------- minimal JSON parser --
+// Just enough of a recursive-descent validator to check exporter output
+// really parses: objects, arrays, strings with escapes, numbers, literals.
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek('}')) { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (!Peek(':')) return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek(',')) { ++pos_; continue; }
+      if (Peek('}')) { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek(']')) { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek(',')) { ++pos_; continue; }
+      if (Peek(']')) { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (!Peek('"')) return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control.
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek('-')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool Peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------- registry -----
+
+TEST(MetricsRegistryTest, CountersGaugesHistogramsRecord) {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.GetCounter("requests_total", {{"code", "200"}});
+  counter.Add();
+  counter.Add(4);
+  EXPECT_EQ(counter.value(), 5u);
+
+  auto& gauge = registry.GetGauge("busy");
+  gauge.Set(0.25);
+  gauge.Max(0.75);
+  gauge.Max(0.10);  // merge rule keeps the max.
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.75);
+
+  auto& hist = registry.GetHistogram("latency_ms", {}, {0.0, 100.0, 100});
+  for (int i = 1; i <= 99; ++i) hist.Observe(i);
+  const stats::Histogram snap = hist.Snapshot();
+  EXPECT_EQ(snap.count(), 99);
+  EXPECT_NEAR(snap.Percentile(50.0), 50.0, 2.0);
+
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  obs::MetricsRegistry registry;
+  auto& a = registry.GetCounter("c", {{"x", "1"}, {"y", "2"}});
+  auto& b = registry.GetCounter("c", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+void FillShard(obs::MetricsRegistry& registry, int shard) {
+  registry.GetCounter("events_total").Add(static_cast<std::uint64_t>(shard));
+  registry.GetCounter("tagged_total", {{"shard", shard % 2 ? "odd" : "even"}})
+      .Add(7);
+  registry.GetGauge("peak").Max(static_cast<double>(shard));
+  auto& hist = registry.GetHistogram("v", {}, {0.0, 10.0, 10});
+  for (int i = 0; i <= shard; ++i) hist.Observe(static_cast<double>(i));
+}
+
+TEST(MetricsRegistryTest, MergeIsAssociativeAndCommutative) {
+  // Three shards, merged in three different shapes, must serialize
+  // byte-identically — the property the fleet merge relies on.
+  auto make = [](int shard) {
+    auto registry = std::make_unique<obs::MetricsRegistry>();
+    FillShard(*registry, shard);
+    return registry;
+  };
+
+  obs::MetricsRegistry left_fold;  // ((1 + 2) + 3)
+  for (int s : {1, 2, 3}) left_fold.Merge(*make(s));
+
+  obs::MetricsRegistry right_fold;  // (3 + (2 + 1)) via a staging registry
+  obs::MetricsRegistry stage;
+  stage.Merge(*make(2));
+  stage.Merge(*make(1));
+  right_fold.Merge(*make(3));
+  right_fold.Merge(stage);
+
+  obs::MetricsRegistry reversed;  // (3 + 2 + 1)
+  for (int s : {3, 2, 1}) reversed.Merge(*make(s));
+
+  const std::string expected = obs::PrometheusText(left_fold);
+  EXPECT_FALSE(expected.empty());
+  EXPECT_EQ(expected, obs::PrometheusText(right_fold));
+  EXPECT_EQ(expected, obs::PrometheusText(reversed));
+}
+
+TEST(MetricsRegistryTest, WildPopulationRegistryInvariantAcrossJobs) {
+  // The end-to-end determinism contract: the merged registry of a parallel
+  // population run serializes bit-identically to the serial run's.
+  auto run = [](int jobs) {
+    scenario::WildConfig config;
+    config.calls = 3;
+    config.base_seed = 77;
+    config.call_duration = sim::Seconds(4);
+    config.jobs = jobs;
+    obs::MetricsRegistry registry;
+    config.metrics = &registry;
+    RunWildPopulation(config);
+    return obs::PrometheusText(registry);
+  };
+  const std::string serial = run(1);
+  const std::string parallel = run(3);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the scrape actually carries probing data.
+  EXPECT_NE(serial.find("probe_rounds_total"), std::string::npos);
+  EXPECT_NE(serial.find("probe_discards_total"), std::string::npos);
+  EXPECT_NE(serial.find("arm=\"kwikr\""), std::string::npos);
+  EXPECT_NE(serial.find("arm=\"baseline\""), std::string::npos);
+}
+
+// ----------------------------------------------------------- exporters ----
+
+TEST(ExportersTest, PrometheusTextWellFormed) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("a_total", {{"k", "quote\"back\\slash\nnewline"}})
+      .Add(3);
+  registry.GetGauge("9starts_with_digit").Set(1.5);
+  registry.GetHistogram("h", {{"l", "v"}}, {0.0, 10.0, 10}).Observe(5.0);
+
+  const std::string text = obs::PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE _9starts_with_digit gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE a_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE h summary\n"), std::string::npos);
+  EXPECT_NE(text.find("a_total{k=\"quote\\\"back\\\\slash\\nnewline\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("h{l=\"v\",quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("h_sum{l=\"v\"}"), std::string::npos);
+  EXPECT_NE(text.find("h_count{l=\"v\"} 1\n"), std::string::npos);
+}
+
+TEST(ExportersTest, MetricsJsonlLinesParse) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("c", {{"weird", "a\"b\\c\td"}}).Add(1);
+  registry.GetHistogram("h").Observe(1.0);
+  const std::string jsonl = obs::MetricsJsonl(registry);
+  std::size_t begin = 0;
+  int lines = 0;
+  while (begin < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', begin);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = jsonl.substr(begin, end - begin);
+    EXPECT_TRUE(JsonParser(line).Parse()) << line;
+    begin = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(ExportersTest, ChromeTraceJsonParsesWithCategories) {
+  sim::EventLoop loop;
+  obs::ChromeTraceWriter writer;
+  obs::Tracer tracer(&loop);
+  tracer.SetSink(&writer);
+
+  {
+    obs::ScopedSpan span(tracer, "experiment", "experiment");
+    span.AddArg("calls", 1.0);
+    loop.ScheduleIn(sim::Millis(5), [] {});
+    loop.Run();
+  }
+  tracer.InstantAt("sample", "probe", sim::Millis(1),
+                   {{"tq_ms", 2.5}, {"weird\"key", 1.0}});
+  tracer.Counter("depth", "queue", {{"BE", 4.0}});
+  tracer.Counter("channel", "wifi", {{"busy_pct", 12.0}});
+  tracer.Counter("rate", "rtc", {{"kbps", 500.0}});
+  tracer.Counter("flight", "tcp", {{"in_flight", 9.0}});
+
+  const std::string json = writer.ToJson();
+  EXPECT_TRUE(JsonParser(json).Parse()) << json;
+  EXPECT_EQ(writer.events(), 6u);
+
+  std::set<std::string> categories;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"cat\":\"", pos)) != std::string::npos) {
+    pos += 7;
+    categories.insert(json.substr(pos, json.find('"', pos) - pos));
+  }
+  EXPECT_GE(categories.size(), 5u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_us\":"), std::string::npos);
+}
+
+// ------------------------------------------------------- zero-cost path ---
+
+TEST(TracerTest, DisabledPathDoesNotAllocate) {
+  sim::EventLoop loop;
+  obs::Tracer tracer(&loop);  // no sink: disabled.
+  ASSERT_FALSE(tracer.enabled());
+
+  const std::size_t before = g_allocations;
+  for (int i = 0; i < 100; ++i) {
+    obs::ScopedSpan span(tracer, "hot", "path");
+    span.AddArg("x", 1.0);
+    tracer.Instant("nope", "path");
+    tracer.Counter("nope", "path", {});
+  }
+  EXPECT_EQ(g_allocations, before);
+}
+
+TEST(TracerTest, EnablingSinkEmits) {
+  sim::EventLoop loop;
+  obs::ChromeTraceWriter writer;
+  obs::Tracer tracer(&loop);
+  { obs::ScopedSpan span(tracer, "off", "x"); }
+  EXPECT_EQ(writer.events(), 0u);
+  tracer.SetSink(&writer);
+  { obs::ScopedSpan span(tracer, "on", "x"); }
+  EXPECT_EQ(writer.events(), 1u);
+}
+
+// ------------------------------------------------------- event loop hook --
+
+TEST(EventLoopProbeTest, ExecutedAndProbeCountsAgree) {
+  sim::EventLoop loop;
+  obs::MetricsRegistry registry;
+  obs::EventLoopMetricsProbe probe(registry);
+  loop.SetProbe(&probe);
+
+  const std::uint64_t executed_before = loop.executed();
+  for (int i = 0; i < 5; ++i) {
+    loop.ScheduleIn(sim::Millis(i), "test.alpha", [] {});
+  }
+  for (int i = 0; i < 3; ++i) {
+    loop.ScheduleIn(sim::Millis(i), "test.beta", [] {});
+  }
+  loop.ScheduleIn(sim::Millis(1), [] {});  // untyped -> "event".
+  sim::PeriodicTimer timer(loop, sim::Millis(2), [] {});
+  timer.Start();
+  loop.RunUntil(sim::Millis(10));
+  timer.Stop();
+  loop.Run();
+
+  const std::uint64_t executed = loop.executed() - executed_before;
+  EXPECT_EQ(probe.total(), executed);
+
+  // The per-type counters must add up to the loop's own executed() count.
+  std::uint64_t counted = 0;
+  for (const auto& row : registry.Snapshot()) {
+    if (row.name == "sim_events_total") counted += row.counter_value;
+  }
+  EXPECT_EQ(counted, executed);
+  EXPECT_EQ(registry.GetCounter("sim_events_total", {{"type", "test.alpha"}})
+                .value(),
+            5u);
+  EXPECT_EQ(registry.GetCounter("sim_events_total", {{"type", "test.beta"}})
+                .value(),
+            3u);
+  EXPECT_GE(registry.GetCounter("sim_events_total", {{"type", "timer"}})
+                .value(),
+            4u);
+  EXPECT_EQ(
+      registry.GetCounter("sim_events_total", {{"type", "event"}}).value(),
+      1u);
+
+  // Wall-time histograms exist alongside the counters.
+  const std::string text = obs::PrometheusText(registry);
+  EXPECT_NE(text.find("sim_event_wall_us"), std::string::npos);
+}
+
+TEST(EventLoopProbeTest, NoProbeMeansNoObservation) {
+  sim::EventLoop loop;
+  ASSERT_EQ(loop.probe(), nullptr);
+  loop.ScheduleIn(0, [] {});
+  loop.Run();
+  EXPECT_EQ(loop.executed(), 1u);
+}
+
+// --------------------------------------------------------- fleet bridge ---
+
+TEST(FleetMetricsTest, MergeRegistryAccumulates) {
+  fleet::FleetMetrics fleet_metrics;
+  obs::MetricsRegistry worker_a;
+  obs::MetricsRegistry worker_b;
+  worker_a.GetCounter("done_total").Add(2);
+  worker_b.GetCounter("done_total").Add(3);
+  fleet_metrics.MergeRegistry(worker_a);
+  fleet_metrics.MergeRegistry(worker_b);
+  EXPECT_EQ(fleet_metrics.registry().GetCounter("done_total").value(), 5u);
+}
+
+}  // namespace
+}  // namespace kwikr

@@ -40,6 +40,36 @@ TEST(Trace, CapsEventsAndCountsDrops) {
   EXPECT_EQ(recorder.dropped(), 7u);
 }
 
+TEST(Trace, JsonEscapesTypeAndFieldKeys) {
+  Event event;
+  event.at = 0;
+  event.type = "quote\"back\\slash";
+  event.fields = {{"tab\tkey", 1.0}};
+  EXPECT_EQ(Recorder::ToJson(event),
+            "{\"t_s\":0.000000,\"type\":\"quote\\\"back\\\\slash\","
+            "\"tab\\tkey\":1}");
+}
+
+TEST(Trace, WriteJsonlRecordsDropCount) {
+  Recorder recorder(2);
+  for (int i = 0; i < 5; ++i) {
+    recorder.Record(i, "e", {});
+  }
+  const std::string path = ::testing::TempDir() + "/trace_drops.jsonl";
+  ASSERT_TRUE(recorder.WriteJsonl(path));
+  std::ifstream in(path);
+  std::string line;
+  std::string last;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    last = line;
+  }
+  EXPECT_EQ(lines, 3);  // 2 kept events + the trace_dropped marker.
+  EXPECT_EQ(last, "{\"type\":\"trace_dropped\",\"count\":3}");
+  std::remove(path.c_str());
+}
+
 TEST(Trace, AttachedProberProducesPingPairEvents) {
   scenario::Testbed testbed(scenario::Testbed::Config{12, wifi::PhyParams{}});
   auto& bss = testbed.AddBss(scenario::Bss::Config{});
