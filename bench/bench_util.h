@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -158,23 +159,45 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Peak resident set of this process in kB (VmHWM from /proc/self/status);
+/// 0 when unavailable. The container has no /usr/bin/time, so the bench
+/// records report their own peak RSS.
+inline unsigned long PeakRssKb() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  unsigned long kb = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lu kB", &kb) == 1) break;
+  }
+  std::fclose(status);
+  return kb;
+}
+
 /// Emits the machine-readable timing record of a fleet-backed bench — one
 /// JSON object per line so the perf trajectory can be scraped with grep.
 /// When a serial (jobs=1) reference time is supplied, the achieved speedup
-/// is included and echoed human-readably.
+/// is included and echoed human-readably. When the total dispatched-event
+/// count is supplied, simulator events/sec rides along (the scheduler
+/// throughput achieved inside a full scenario, complementing
+/// micro_eventloop's synthetic number).
 inline void PrintFleetTiming(const char* bench, int jobs, double wall_ms,
-                             long calls, double serial_wall_ms = 0.0) {
+                             long calls, double serial_wall_ms = 0.0,
+                             std::uint64_t events = 0) {
+  std::printf("{\"bench\":\"%s\",\"jobs\":%d,\"wall_ms\":%.1f,\"calls\":%ld",
+              bench, jobs, wall_ms, calls);
+  if (events > 0 && wall_ms > 0.0) {
+    std::printf(",\"events\":%llu,\"events_per_sec\":%.0f",
+                static_cast<unsigned long long>(events),
+                static_cast<double>(events) / (wall_ms / 1000.0));
+  }
   if (serial_wall_ms > 0.0 && wall_ms > 0.0) {
-    std::printf(
-        "{\"bench\":\"%s\",\"jobs\":%d,\"wall_ms\":%.1f,\"calls\":%ld,"
-        "\"speedup_vs_serial\":%.2f}\n",
-        bench, jobs, wall_ms, calls, serial_wall_ms / wall_ms);
+    std::printf(",\"speedup_vs_serial\":%.2f", serial_wall_ms / wall_ms);
+  }
+  std::printf(",\"peak_rss_kb\":%lu}\n", PeakRssKb());
+  if (serial_wall_ms > 0.0 && wall_ms > 0.0) {
     std::printf("fleet: jobs=%d ran %.1f ms vs %.1f ms serial (%.2fx)\n",
                 jobs, wall_ms, serial_wall_ms, serial_wall_ms / wall_ms);
-  } else {
-    std::printf(
-        "{\"bench\":\"%s\",\"jobs\":%d,\"wall_ms\":%.1f,\"calls\":%ld}\n",
-        bench, jobs, wall_ms, calls);
   }
 }
 

@@ -103,8 +103,10 @@ int main(int argc, char** argv) {
                     ? "byte-identical to"
                     : "DIVERGE from");
   }
+  std::uint64_t events_executed = 0;
+  for (const auto& call : results.calls) events_executed += call.events_executed;
   bench::PrintFleetTiming("fig10_wild_delay", config.jobs, wall_ms,
-                          config.calls, serial_wall_ms);
+                          config.calls, serial_wall_ms, events_executed);
   bench::ExportMetrics(argc, argv, registry);
 
   // KWIKR_TRACE_DIR: Chrome-trace one example call (the Kwikr arm of the

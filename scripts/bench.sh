@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Perf-regression bench harness. Builds the bench binaries in Release mode
+# and records the repo's two committed perf-trajectory baselines:
+#
+#   BENCH_eventloop.json — micro_eventloop: schedule/cancel/dispatch
+#       throughput of the allocation-free scheduler vs the pre-rewrite
+#       std::function + hash-set baseline (events/sec, allocs/event,
+#       wall time, peak RSS).
+#   BENCH_fig10.json     — fixed-seed fig10 wild-population sweep
+#       (simulated events/sec inside a full scenario, wall time, peak RSS),
+#       plus a byte-identity check of --metrics-out between --jobs 1 and
+#       --jobs 8: the scheduler rewrite must never change simulated results.
+#
+# Usage: scripts/bench.sh [--quick] [--no-fig10]
+#   --quick     shrink the micro workload (CI smoke; not for committing).
+#   --no-fig10  skip the scenario sweep (micro numbers only).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+
+quick=""
+run_fig10=1
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick="--quick" ;;
+    --no-fig10) run_fig10=0 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--no-fig10]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== build (Release) =="
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j "$jobs" --target micro_eventloop fig10_wild_delay
+
+echo "== micro_eventloop =="
+./build-bench/bench/micro_eventloop $quick --json BENCH_eventloop.json
+
+if [[ "$run_fig10" == 1 ]]; then
+  echo "== fig10 fixed-seed sweep (150 calls, seed 1010) =="
+  fig10=./build-bench/bench/fig10_wild_delay
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+
+  "$fig10" --calls 150 --jobs 1 --metrics-out "$tmp/metrics_j1.json" \
+    | tee "$tmp/fig10_j1.out"
+  "$fig10" --calls 150 --jobs 8 --metrics-out "$tmp/metrics_j8.json" \
+    | tee "$tmp/fig10_j8.out"
+
+  echo "== determinism: --metrics-out must be byte-identical across --jobs =="
+  if ! cmp "$tmp/metrics_j1.json" "$tmp/metrics_j8.json"; then
+    echo "FAIL: fig10 metrics differ between --jobs 1 and --jobs 8" >&2
+    exit 1
+  fi
+  echo "fig10 metrics byte-identical between --jobs 1 and --jobs 8"
+
+  # The jobs=8 record (its timing line is the last JSON object the bench
+  # prints) becomes the committed trajectory baseline.
+  grep '^{"bench":"fig10_wild_delay"' "$tmp/fig10_j8.out" | tail -1 \
+    > BENCH_fig10.json
+fi
+
+echo "== results =="
+cat BENCH_eventloop.json
+[[ "$run_fig10" == 1 ]] && cat BENCH_fig10.json
+echo "bench.sh: done"

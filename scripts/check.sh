@@ -5,18 +5,23 @@
 #      ThreadSanitizer (-DKWIKR_SANITIZE=thread) and run `ctest -L obs`
 #      (the label covers obs_test and fleet_test, the two suites exercising
 #      the shared-registry merge paths).
+#   3. perf: Release-mode micro_eventloop smoke against the committed
+#      BENCH_eventloop.json — fails when dispatch events/sec regresses more
+#      than 20% or the dispatch path allocates.
 #
-# Usage: scripts/check.sh [--no-tsan]
+# Usage: scripts/check.sh [--no-tsan] [--no-bench]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 
 run_tsan=1
+run_bench=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
-    *) echo "usage: scripts/check.sh [--no-tsan]" >&2; exit 2 ;;
+    --no-bench) run_bench=0 ;;
+    *) echo "usage: scripts/check.sh [--no-tsan] [--no-bench]" >&2; exit 2 ;;
   esac
 done
 
@@ -30,6 +35,13 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DKWIKR_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" --target obs_test fleet_test
   ctest --test-dir build-tsan -L obs --output-on-failure -j "$jobs"
+fi
+
+if [[ "$run_bench" == 1 && -f BENCH_eventloop.json ]]; then
+  echo "== perf: micro_eventloop smoke vs committed baseline =="
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-bench -j "$jobs" --target micro_eventloop
+  ./build-bench/bench/micro_eventloop --quick --baseline BENCH_eventloop.json
 fi
 
 echo "check.sh: all green"

@@ -30,7 +30,9 @@ void ChannelAccessEstimator::StartProbe() {
   transport_.SendEcho(config_.tos, config_.ident,
                       static_cast<std::uint16_t>(id * 2 + 1),
                       config_.ping_size_bytes);
-  loop_.ScheduleIn(config_.timeout, [this, id] { probes_.erase(id); });
+  auto expire = [this, id] { probes_.erase(id); };
+  static_assert(sim::InlineTask::fits_inline<decltype(expire)>);
+  loop_.ScheduleIn(config_.timeout, std::move(expire));
 }
 
 void ChannelAccessEstimator::OnReply(const net::Packet& packet,

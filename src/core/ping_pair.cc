@@ -50,13 +50,15 @@ void PingPairProber::StartRound() {
   SendPair(round, 0);
   if (config_.dual) SendPair(round, 1);
 
-  round.timeout_event =
-      loop_.ScheduleIn(config_.timeout, "probe.timeout", [this, id] {
+  auto expire = [this, id] {
     auto it = rounds_.find(id);
     if (it == rounds_.end()) return;
     ++stats_.timeouts;
     rounds_.erase(it);
-  });
+  };
+  static_assert(sim::InlineTask::fits_inline<decltype(expire)>);
+  round.timeout_event =
+      loop_.ScheduleIn(config_.timeout, "probe.timeout", std::move(expire));
 }
 
 void PingPairProber::SendPair(Round& round, int pair) {

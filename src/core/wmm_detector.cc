@@ -43,10 +43,12 @@ void WmmDetector::StartRun() {
                         config_.large_ping_bytes);
   }
   if (config_.large_ping_count == 0) SendPair();
-  timeout_event_ = loop_.ScheduleIn(config_.run_timeout, [this] {
+  auto expire = [this] {
     timeout_event_ = 0;
     FinishRun();
-  });
+  };
+  static_assert(sim::InlineTask::fits_inline<decltype(expire)>);
+  timeout_event_ = loop_.ScheduleIn(config_.run_timeout, std::move(expire));
 }
 
 void WmmDetector::SendPair() {

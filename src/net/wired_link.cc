@@ -29,11 +29,15 @@ void WiredLink::StartTransmission() {
     Packet packet = std::move(queue_.front());
     queue_.pop_front();
     ++delivered_;
-    // Propagation happens in parallel with the next serialization.
+    // Propagation happens in parallel with the next serialization. The
+    // Packet rides in the closure by value; it must stay within
+    // InlineTask's buffer so per-hop delivery never allocates.
+    auto deliver = [this, packet = std::move(packet)]() mutable {
+      receiver_(std::move(packet));
+    };
+    static_assert(sim::InlineTask::fits_inline<decltype(deliver)>);
     loop_.ScheduleIn(config_.propagation, "net.wire_prop",
-                     [this, packet = std::move(packet)]() mutable {
-                       receiver_(std::move(packet));
-                     });
+                     std::move(deliver));
     StartTransmission();
   });
 }

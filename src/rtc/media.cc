@@ -5,6 +5,14 @@
 
 namespace kwikr::rtc {
 
+// The media timers hand PeriodicTimer `[this]` closures, stored in a
+// sim::InlineTask: frame emission and feedback ticks never allocate. The
+// assert pins the closure shape (one object pointer) to the inline buffer.
+static_assert(sim::InlineTask::fits_inline<
+              decltype([p = static_cast<MediaSender*>(nullptr)] {
+                (void)p;
+              })>);
+
 MediaSender::MediaSender(sim::EventLoop& loop, net::PacketIdAllocator& ids,
                          Config config, SendFn send)
     : loop_(loop),

@@ -253,8 +253,9 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
     tb.rate_bps = 0;  // unshaped until throttle_start.
     transport::TokenBucket& throttle = bss.InstallThrottle(tb);
     const std::int64_t rate = config.throttle_bps;
-    testbed.loop().ScheduleAt(config.throttle_start,
-                              [&throttle, rate] { throttle.SetRate(rate); });
+    auto engage = [&throttle, rate] { throttle.SetRate(rate); };
+    static_assert(sim::InlineTask::fits_inline<decltype(engage)>);
+    testbed.loop().ScheduleAt(config.throttle_start, std::move(engage));
     if (config.throttle_end > config.throttle_start) {
       testbed.loop().ScheduleAt(config.throttle_end,
                                 [&throttle] { throttle.SetRate(0); });
@@ -361,6 +362,7 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
 
   // --- Collect -------------------------------------------------------------
   ExperimentMetrics result;
+  result.events_executed = testbed.loop().executed();
   result.channel_busy_fraction = testbed.channel().BusyFraction();
   result.cross_traffic_bytes = testbed.CrossTrafficBytesReceived();
   result.tcp_rate_series_kbps = std::move(tcp_rate_series);

@@ -107,6 +107,10 @@ struct ExperimentMetrics {
   std::vector<std::size_t> queue_samples;    ///< BE queue depth series.
   double channel_busy_fraction = 0.0;
   std::int64_t cross_traffic_bytes = 0;
+  /// Discrete events the experiment's loop dispatched — the denominator for
+  /// scheduler-throughput accounting in the bench harness. Deterministic in
+  /// the seed like every other field.
+  std::uint64_t events_executed = 0;
 };
 
 /// Builds the testbed, runs the experiment to completion and returns the

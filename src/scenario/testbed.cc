@@ -149,8 +149,10 @@ void Testbed::StopCrossTraffic() {
 }
 
 void Testbed::ScheduleCrossTraffic(sim::Time start, sim::Time stop) {
+  auto begin = [this] { StartCrossTraffic(); };
+  static_assert(sim::InlineTask::fits_inline<decltype(begin)>);
   if (start > 0) {
-    loop_.ScheduleAt(start, [this] { StartCrossTraffic(); });
+    loop_.ScheduleAt(start, std::move(begin));
   }
   if (stop > 0) {
     loop_.ScheduleAt(stop, [this] { StopCrossTraffic(); });

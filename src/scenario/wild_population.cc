@@ -90,6 +90,7 @@ WildCallResult RunOneEnvironment(const WildConfig& config, sim::Rng call_rng,
   r.kwikr_rtt_p50_ms = stats::Percentile(k.rtt_ms, 50.0);
   r.wmm_enabled = experiment.wmm_enabled;
   r.cross_stations = experiment.cross_stations;
+  r.events_executed = baseline.events_executed + kwikr.events_executed;
   return r;
 }
 

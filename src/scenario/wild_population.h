@@ -55,6 +55,9 @@ struct WildCallResult {
 
   bool wmm_enabled = false;
   int cross_stations = 0;
+  /// Events dispatched across both arms' loops (scheduler-throughput
+  /// accounting for the bench harness).
+  std::uint64_t events_executed = 0;
 };
 
 struct WildResults {

@@ -1,58 +1,108 @@
 #include "sim/event_loop.h"
 
-#include <algorithm>
+#include <cassert>
 #include <chrono>
-#include <utility>
 
 namespace kwikr::sim {
 
-EventId EventLoop::ScheduleAt(Time at, const char* type,
-                              std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Event{std::max(at, now_), id, type, std::move(fn)});
-  live_.insert(id);
-  return id;
+void EventLoop::PruneTop() {
+  while (!heap_.empty()) {
+    const std::uint32_t slot = heap_.front().slot;
+    if (!SlotAt(slot).cancelled) return;
+    ReleaseSlot(slot);
+    --tombstones_;
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
 }
 
-EventId EventLoop::ScheduleIn(Duration delay, const char* type,
-                              std::function<void()> fn) {
-  return ScheduleAt(now_ + std::max<Duration>(delay, 0), type,
-                    std::move(fn));
+void EventLoop::Compact() {
+  std::size_t kept = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (SlotAt(entry.slot).cancelled) {
+      ReleaseSlot(entry.slot);
+    } else {
+      heap_[kept++] = entry;
+    }
+  }
+  heap_.resize(kept);
+  tombstones_ = 0;
+  // Floyd heap construction: O(n) instead of n pushes.
+  for (std::size_t i = kept / 4 + 1; i-- > 0;) {
+    if (i < kept) SiftDown(i);
+  }
 }
 
 bool EventLoop::Cancel(EventId id) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) return false;
-  live_.erase(it);
-  cancelled_.insert(id);
+  const std::uint64_t slot_plus_one = id >> 32;
+  if (slot_plus_one == 0 || slot_plus_one > slot_count_) return false;
+  const auto slot_index = static_cast<std::uint32_t>(slot_plus_one - 1);
+  Slot& slot = SlotAt(slot_index);
+  if (!slot.occupied || slot.cancelled ||
+      slot.generation != static_cast<std::uint32_t>(id)) {
+    return false;
+  }
+  slot.cancelled = true;
+  slot.fn = InlineTask();  // release captures now, not at reap time.
+  ++tombstones_;
+  --live_;
+  // Reap tombstones in bulk once they dominate the heap; below the size
+  // floor, lazy top-pruning is cheaper than a sweep.
+  if (heap_.size() >= kCompactionMinEntries && tombstones_ * 2 > heap_.size()) {
+    Compact();
+  }
   return true;
 }
 
 bool EventLoop::PopAndRun() {
-  while (!queue_.empty()) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(event.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+  std::uint32_t slot_index;
+  Time at;
+  while (true) {
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    if (SlotAt(top.slot).cancelled) {
+      ReleaseSlot(top.slot);
+      --tombstones_;
       continue;
     }
-    live_.erase(event.id);
-    now_ = event.at;
-    ++executed_;
-    if (probe_ == nullptr) {
-      event.fn();
-    } else {
-      const auto wall_begin = std::chrono::steady_clock::now();
-      event.fn();
-      const double wall_us =
-          std::chrono::duration<double, std::micro>(
-              std::chrono::steady_clock::now() - wall_begin)
-              .count();
-      probe_->OnExecuted(event.type, now_, wall_us);
-    }
-    return true;
+    slot_index = top.slot;
+    at = KeyTime(top.key);
+    break;
   }
-  return false;
+
+  // Invoke IN the slot (slots are address-stable, so a callback scheduling
+  // more events cannot move the closure under its own feet). Marking the
+  // slot unoccupied first makes Cancel of the now-running id fail, as it
+  // always has; the slot cannot be recycled until it is released below.
+  Slot& slot = SlotAt(slot_index);
+  if (!heap_.empty()) {
+    const Slot* next = &SlotAt(heap_.front().slot);
+    __builtin_prefetch(next);
+    __builtin_prefetch(reinterpret_cast<const char*>(next) + 64);
+    __builtin_prefetch(reinterpret_cast<const char*>(next) + 128);
+  }
+  assert(slot.occupied && !slot.cancelled);
+  slot.occupied = false;
+  --live_;
+  now_ = at;
+  ++executed_;
+  if (probe_ == nullptr) {
+    slot.fn();
+  } else {
+    const auto wall_begin = std::chrono::steady_clock::now();
+    slot.fn();
+    const double wall_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - wall_begin)
+            .count();
+    probe_->OnExecuted(slot.type, now_, wall_us);
+  }
+  ReleaseSlot(slot_index);
+  return true;
 }
 
 void EventLoop::Run() {
@@ -61,8 +111,12 @@ void EventLoop::Run() {
 }
 
 void EventLoop::RunUntil(Time deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    if (!PopAndRun()) break;
+  while (true) {
+    // Prune first so a cancelled head can neither satisfy nor fail the
+    // deadline check — only the earliest LIVE event decides.
+    PruneTop();
+    if (heap_.empty() || KeyTime(heap_.front().key) > deadline) break;
+    PopAndRun();
   }
   now_ = std::max(now_, deadline);
 }
@@ -71,8 +125,9 @@ void EventLoop::RunFor(Duration duration) { RunUntil(now_ + duration); }
 
 bool EventLoop::Step() { return PopAndRun(); }
 
-PeriodicTimer::PeriodicTimer(EventLoop& loop, Duration period,
-                             std::function<void()> fn)
+// -------------------------------------------------------- periodic timer ----
+
+PeriodicTimer::PeriodicTimer(EventLoop& loop, Duration period, InlineTask fn)
     : loop_(loop), period_(period), fn_(std::move(fn)) {}
 
 PeriodicTimer::~PeriodicTimer() { Stop(); }
@@ -92,6 +147,11 @@ void PeriodicTimer::Stop() {
 }
 
 void PeriodicTimer::Fire() {
+  // Reschedule BEFORE invoking so the cadence is anchored to the tick and
+  // the callback observes a consistent "next firing pending" state; see the
+  // class comment for the Stop()/destruction-from-callback contract. The
+  // callback runs last — if it destroys this timer, nothing here touches
+  // `this` afterwards.
   pending_ = loop_.ScheduleIn(period_, "timer", [this] { Fire(); });
   fn_();
 }

@@ -1,16 +1,20 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_task.h"
 #include "sim/time.h"
 
 namespace kwikr::sim {
 
-/// Handle to a scheduled event, usable for cancellation.
+/// Handle to a scheduled event, usable for cancellation. Encodes the event's
+/// scheduler slot and a per-slot generation counter; 0 is never a valid id.
 using EventId = std::uint64_t;
 
 /// Type tag given to events scheduled through the untyped overloads.
@@ -33,7 +37,26 @@ class EventLoopProbe {
 ///
 /// Events at the same tick run in scheduling (FIFO) order, which keeps
 /// back-to-back operations like the Ping-Pair's two sends well-defined.
+///
+/// The dispatch path is allocation- and hash-free:
+///  - Callables are built directly inside InlineTask slots (Schedule* is a
+///    template, so the closure is constructed in place — one copy from the
+///    call site, none on dispatch) and invoked in place: the slot table is
+///    chunked so slots never move, even when a callback schedules more
+///    events mid-run.
+///  - Ordering is a hand-rolled 4-ary min-heap of small POD entries
+///    (time, sequence, slot); the callables never ride through sifts.
+///  - Cancellation is O(1) without hashing: EventId encodes (slot,
+///    generation), and Cancel flips the slot's tombstone bit and releases
+///    the captured state immediately. Tombstoned heap entries are reaped
+///    lazily at the heap top, or in one O(n) compaction sweep when they
+///    outnumber live events.
 class EventLoop {
+ private:
+  template <typename F>
+  using EnableIfCallable =
+      std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>;
+
  public:
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
@@ -43,33 +66,54 @@ class EventLoop {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules `fn` at absolute time `at` (clamped to now()).
-  EventId ScheduleAt(Time at, std::function<void()> fn) {
-    return ScheduleAt(at, kDefaultEventType, std::move(fn));
+  template <typename F, typename = EnableIfCallable<F>>
+  EventId ScheduleAt(Time at, F&& fn) {
+    return ScheduleAt(at, kDefaultEventType, std::forward<F>(fn));
   }
 
   /// Schedules `fn` after `delay` (clamped to non-negative).
-  EventId ScheduleIn(Duration delay, std::function<void()> fn) {
-    return ScheduleIn(delay, kDefaultEventType, std::move(fn));
+  template <typename F, typename = EnableIfCallable<F>>
+  EventId ScheduleIn(Duration delay, F&& fn) {
+    return ScheduleIn(delay, kDefaultEventType, std::forward<F>(fn));
   }
 
   /// Typed variants: `type` must be a string with static storage duration
   /// (a literal); it tags the event for the EventLoopProbe.
-  EventId ScheduleAt(Time at, const char* type, std::function<void()> fn);
-  EventId ScheduleIn(Duration delay, const char* type,
-                     std::function<void()> fn);
+  template <typename F, typename = EnableIfCallable<F>>
+  EventId ScheduleAt(Time at, const char* type, F&& fn) {
+    const std::uint32_t slot_index = AcquireSlot();
+    Slot& slot = SlotAt(slot_index);
+    slot.fn.Emplace(std::forward<F>(fn));
+    slot.type = type;
+    heap_.push_back(HeapEntry{MakeKey(std::max(at, now_), next_seq_++),
+                              slot_index});
+    SiftUp(heap_.size() - 1);
+    ++live_;
+    return MakeId(slot_index, slot.generation);
+  }
+
+  template <typename F, typename = EnableIfCallable<F>>
+  EventId ScheduleIn(Duration delay, const char* type, F&& fn) {
+    return ScheduleAt(now_ + std::max<Duration>(delay, 0), type,
+                      std::forward<F>(fn));
+  }
 
   /// Attaches (or with nullptr detaches) the execution probe.
   void SetProbe(EventLoopProbe* probe) { probe_ = probe; }
   [[nodiscard]] EventLoopProbe* probe() const { return probe_; }
 
   /// Cancels a pending event; returns false if it already ran / was
-  /// cancelled / never existed.
+  /// cancelled / never existed. O(1): flips the slot's tombstone bit and
+  /// releases the callable immediately (captured resources are freed at
+  /// cancel time, not when the tombstone is reaped).
   bool Cancel(EventId id);
 
   /// Runs events until the queue is empty.
   void Run();
 
   /// Runs events with time <= deadline, then advances the clock to deadline.
+  /// Cancelled events never count against the deadline check: the next LIVE
+  /// event decides whether the loop keeps going.
   void RunUntil(Time deadline);
 
   /// Runs for `duration` past the current time.
@@ -79,41 +123,195 @@ class EventLoop {
   bool Step();
 
   /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
   /// Total events executed (for micro-benchmarks).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Cancelled-but-unreaped heap entries (introspection for tests).
+  [[nodiscard]] std::size_t tombstones() const { return tombstones_; }
+
  private:
-  struct Event {
-    Time at;
-    EventId id;
-    const char* type;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
+  friend struct EventLoopTestPeer;
+
+  // Heap ordering key: (time, schedule sequence) — FIFO within a tick.
+  // Scheduled times are clamped to now() >= 0, so `at` is non-negative and
+  // the pair packs into one 128-bit unsigned integer that orders
+  // lexicographically with a SINGLE compare. The naive two-field compare
+  // (`at != b.at ? at < b.at : seq < b.seq`) costs two data-dependent
+  // branches per heap comparison, and sift paths are exactly the code where
+  // those branches are unpredictable — packing the key measurably ~halves
+  // dispatch cost.
+#if defined(__SIZEOF_INT128__)
+  using HeapKey = unsigned __int128;
+  static constexpr HeapKey MakeKey(Time at, std::uint64_t seq) {
+    return (static_cast<HeapKey>(static_cast<std::uint64_t>(at)) << 64) | seq;
+  }
+  static constexpr Time KeyTime(HeapKey key) {
+    return static_cast<Time>(static_cast<std::uint64_t>(key >> 64));
+  }
+#else
+  struct HeapKey {
+    std::uint64_t at;
+    std::uint64_t seq;
+    friend constexpr bool operator<(const HeapKey& a, const HeapKey& b) {
+      return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+    }
+    friend constexpr bool operator>=(const HeapKey& a, const HeapKey& b) {
+      return !(a < b);
     }
   };
+  static constexpr HeapKey MakeKey(Time at, std::uint64_t seq) {
+    return HeapKey{static_cast<std::uint64_t>(at), seq};
+  }
+  static constexpr Time KeyTime(HeapKey key) {
+    return static_cast<Time>(key.at);
+  }
+#endif
+
+  struct HeapEntry {
+    HeapKey key;
+    std::uint32_t slot;
+  };
+
+  /// Slot table cell: owns the callable of one pending event. Slots are
+  /// recycled through a free list; `generation` increments on every release
+  /// so stale EventIds can never cancel the slot's next tenant.
+  struct Slot {
+    InlineTask fn;
+    const char* type = nullptr;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNilSlot;
+    bool occupied = false;
+    bool cancelled = false;
+  };
+
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+  /// Slots live in fixed 256-cell chunks so their addresses are stable:
+  /// PopAndRun invokes the callable IN the slot, and a callback that
+  /// schedules (growing the table) must not move the closure under its own
+  /// feet.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  /// Compaction sweeps only once the heap is mostly garbage AND big enough
+  /// that lazy top-reaping alone could retain a lot of memory.
+  static constexpr std::size_t kCompactionMinEntries = 64;
+
+  static EventId MakeId(std::uint32_t slot, std::uint32_t generation) {
+    // +1 keeps 0 (the conventional "no event" sentinel) unused.
+    return (static_cast<EventId>(slot + 1) << 32) | generation;
+  }
+
+  [[nodiscard]] Slot& SlotAt(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  std::uint32_t AcquireSlot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t index = free_head_;
+      Slot& slot = SlotAt(index);
+      free_head_ = slot.next_free;
+      slot.next_free = kNilSlot;
+      slot.occupied = true;
+      slot.cancelled = false;
+      return index;
+    }
+    if ((slot_count_ & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    const std::uint32_t index = slot_count_++;
+    SlotAt(index).occupied = true;
+    return index;
+  }
+
+  void ReleaseSlot(std::uint32_t index) {
+    Slot& slot = SlotAt(index);
+    slot.fn = InlineTask();
+    slot.type = nullptr;
+    slot.occupied = false;
+    slot.cancelled = false;
+    ++slot.generation;  // invalidates every EventId minted for this tenancy.
+    slot.next_free = free_head_;
+    free_head_ = index;
+  }
+
+  void SiftUp(std::size_t index) {
+    const HeapEntry entry = heap_[index];
+    while (index > 0) {
+      const std::size_t parent = (index - 1) / 4;
+      if (entry.key >= heap_[parent].key) break;
+      heap_[index] = heap_[parent];
+      index = parent;
+    }
+    heap_[index] = entry;
+  }
+
+  void SiftDown(std::size_t index) {
+    const std::size_t size = heap_.size();
+    const HeapEntry entry = heap_[index];
+    while (true) {
+      const std::size_t first_child = index * 4 + 1;
+      std::size_t best;
+      if (first_child + 4 <= size) {
+        // Full node: pick the min child with a branchless tournament. Which
+        // child wins is data-dependent and essentially random, so the
+        // compiler's conditional moves beat a compare-and-branch scan.
+        const std::size_t b01 =
+            heap_[first_child + 1].key < heap_[first_child].key
+                ? first_child + 1
+                : first_child;
+        const std::size_t b23 =
+            heap_[first_child + 3].key < heap_[first_child + 2].key
+                ? first_child + 3
+                : first_child + 2;
+        best = heap_[b23].key < heap_[b01].key ? b23 : b01;
+      } else {
+        if (first_child >= size) break;
+        best = first_child;
+        for (std::size_t c = first_child + 1; c < size; ++c) {
+          if (heap_[c].key < heap_[best].key) best = c;
+        }
+      }
+      if (heap_[best].key >= entry.key) break;
+      heap_[index] = heap_[best];
+      index = best;
+    }
+    heap_[index] = entry;
+  }
 
   bool PopAndRun();
+  /// Pops tombstoned entries off the heap top until a live event (or
+  /// nothing) is exposed.
+  void PruneTop();
+  /// Removes every tombstoned entry and rebuilds the heap in O(n).
+  void Compact();
 
   Time now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   EventLoopProbe* probe_ = nullptr;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> live_;
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
 };
 
 /// Repeating timer built on EventLoop. Fires first after `period` (or a
 /// custom initial delay) and then every `period` until stopped or destroyed.
+///
+/// Callback contract: by the time `fn` runs, the NEXT firing is already
+/// scheduled (rescheduling happens first so the cadence stays anchored even
+/// if `fn` inspects the loop). Calling Stop() — directly or via the
+/// destructor — from inside `fn` cancels that already-pending firing, so a
+/// callback may halt or destroy its own timer. If the timer's owner is
+/// destroyed WITHOUT destroying/stopping the timer, the pending firing's
+/// `this` capture dangles — the timer must not outlive its callback's
+/// captures.
 class PeriodicTimer {
  public:
-  PeriodicTimer(EventLoop& loop, Duration period, std::function<void()> fn);
+  PeriodicTimer(EventLoop& loop, Duration period, InlineTask fn);
   ~PeriodicTimer();
   PeriodicTimer(const PeriodicTimer&) = delete;
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
@@ -129,7 +327,7 @@ class PeriodicTimer {
 
   EventLoop& loop_;
   Duration period_;
-  std::function<void()> fn_;
+  InlineTask fn_;
   EventId pending_ = 0;
   bool running_ = false;
 };

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace kwikr::sim {
+
+/// Move-only type-erased `void()` callable with inline storage sized for the
+/// simulator's event closures.
+///
+/// Every packet hop in the simulation is an EventLoop event, and the largest
+/// in-tree closures capture a wifi::Frame (net::Packet + MAC metadata, 184
+/// bytes) by value. `std::function`'s small-buffer optimisation (16-32 bytes
+/// on mainstream ABIs) heap-allocates every one of those, which made the
+/// allocator the hottest function in event dispatch. InlineTask's buffer is
+/// sized so that all in-tree event lambdas — including Frame/Packet-capturing
+/// ones — are stored inline; the hot path never touches the heap. Oversized
+/// captures still work via a heap fallback (one pointer in the buffer), so
+/// the type stays a drop-in replacement; call sites that must stay
+/// allocation-free static_assert `fits_inline<F>` next to the lambda.
+///
+/// Invoking is non-destructive (PeriodicTimer re-invokes the same task every
+/// period). Tasks are move-only; moving relocates the inline object with its
+/// own move constructor, which `fits_inline` therefore requires to be
+/// noexcept (throwing-move types silently take the heap path instead).
+class InlineTask {
+ public:
+  /// Inline buffer size. The floor is the biggest in-tree event closure:
+  /// wifi::Channel's "wifi.deliver" lambda capturing [this, dest,
+  /// frame = std::move(frame)] = 8 + 4 (+4 pad) + 184 = 200 bytes.
+  static constexpr std::size_t kInlineCapacity = 208;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  /// True when callables of type F are stored in the inline buffer (no heap
+  /// allocation on construction, move, or destruction).
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kInlineCapacity && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InlineTask() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineTask> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineTask(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for
+                        // std::function at every Schedule* call site.
+    Construct(std::forward<F>(fn));
+  }
+
+  /// Destroys the current callable (if any) and constructs `fn` in place —
+  /// the zero-extra-copy path EventLoop uses to build an event's closure
+  /// directly inside its scheduler slot.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineTask> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void Emplace(F&& fn) {
+    Reset();
+    Construct(std::forward<F>(fn));
+  }
+
+  void Emplace(InlineTask&& other) noexcept { *this = std::move(other); }
+
+  InlineTask(InlineTask&& other) noexcept { MoveFrom(other); }
+
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// True when the held callable lives in the inline buffer (introspection
+  /// for tests and the zero-allocation microbenchmark).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && !ops_->heap;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs dst from src and destroys src's object.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+      false,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**reinterpret_cast<D**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+      },
+      [](void* s) noexcept { delete *reinterpret_cast<D**>(s); },
+      true,
+  };
+
+  template <typename F, typename D = std::decay_t<F>>
+  void Construct(F&& fn) {
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  void MoveFrom(InlineTask& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace kwikr::sim

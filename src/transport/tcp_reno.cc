@@ -81,10 +81,12 @@ void TcpRenoSender::ArmRto() {
   if (rto_event_ != 0) loop_.Cancel(rto_event_);
   const sim::Duration timeout =
       std::min(config_.max_rto, rto_ << rto_backoff_);
-  rto_event_ = loop_.ScheduleIn(timeout, "tcp.rto", [this] {
+  auto fire_rto = [this] {
     rto_event_ = 0;
     OnRto();
-  });
+  };
+  static_assert(sim::InlineTask::fits_inline<decltype(fire_rto)>);
+  rto_event_ = loop_.ScheduleIn(timeout, "tcp.rto", std::move(fire_rto));
 }
 
 void TcpRenoSender::OnRto() {

@@ -67,11 +67,13 @@ void TokenBucket::Drain() {
   const double deficit =
       static_cast<double>(queue_.front().size_bytes) - tokens_bytes_;
   const double seconds = deficit * 8.0 / static_cast<double>(config_.rate_bps);
-  drain_event_ =
-      loop_.ScheduleIn(sim::FromSeconds(seconds) + 1, "net.token_drain", [this] {
+  auto drain = [this] {
     drain_event_ = 0;
     Drain();
-  });
+  };
+  static_assert(sim::InlineTask::fits_inline<decltype(drain)>);
+  drain_event_ = loop_.ScheduleIn(sim::FromSeconds(seconds) + 1,
+                                  "net.token_drain", std::move(drain));
 }
 
 void TokenBucket::Forward(net::Packet packet) {

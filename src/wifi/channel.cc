@@ -133,12 +133,14 @@ void Channel::ScheduleArbitration() {
   }
   if (earliest == std::numeric_limits<sim::Time>::max()) return;
   scheduled_start_ = earliest;
+  auto arbitrate = [this, earliest] {
+    arbitration_event_ = 0;
+    scheduled_start_ = -1;
+    StartTransmissions(earliest);
+  };
+  static_assert(sim::InlineTask::fits_inline<decltype(arbitrate)>);
   arbitration_event_ =
-      loop_.ScheduleAt(earliest, "wifi.arbitration", [this, earliest] {
-        arbitration_event_ = 0;
-        scheduled_start_ = -1;
-        StartTransmissions(earliest);
-      });
+      loop_.ScheduleAt(earliest, "wifi.arbitration", std::move(arbitrate));
 }
 
 void Channel::StartTransmissions(sim::Time start) {
@@ -208,9 +210,11 @@ void Channel::StartTransmissions(sim::Time start) {
   busy_started_ = start;
   busy_until_ = end;
 
-  loop_.ScheduleAt(end, "wifi.tx_done", [this, transmitters, start, end] {
+  auto tx_done = [this, transmitters, start, end] {
     FinishTransmissions(transmitters, start, end);
-  });
+  };
+  static_assert(sim::InlineTask::fits_inline<decltype(tx_done)>);
+  loop_.ScheduleAt(end, "wifi.tx_done", std::move(tx_done));
 }
 
 void Channel::FinishTransmissions(const std::vector<ContenderId>& transmitters,
@@ -243,11 +247,14 @@ void Channel::FinishTransmissions(const std::vector<ContenderId>& transmitters,
           busy_started_ = end;
           // Burst frames are SIFS-separated inside the TXOP.
           busy_until_ = end + phy_.sifs + airtime;
-          const std::vector<ContenderId> burst = {id};
-          loop_.ScheduleAt(busy_until_, "wifi.txop_burst", [this, burst, end, until =
-                                         busy_until_] {
+          std::vector<ContenderId> burst = {id};
+          auto finish_burst = [this, burst = std::move(burst), end,
+                               until = busy_until_] {
             FinishTransmissions(burst, end, until);
-          });
+          };
+          static_assert(sim::InlineTask::fits_inline<decltype(finish_burst)>);
+          loop_.ScheduleAt(busy_until_, "wifi.txop_burst",
+                           std::move(finish_burst));
           return;  // medium stays busy; no idle transition yet.
         }
       }
@@ -315,10 +322,14 @@ void Channel::HandleSuccess(ContenderId id, sim::Time end) {
   if (owners_[dest].on_delivery) {
     // Deliver at the end of the frame (now). Scheduled rather than called
     // inline so receiver actions (e.g. an ICMP reply enqueue) observe a
-    // consistent channel state.
-    loop_.ScheduleAt(end, "wifi.deliver", [this, dest, frame = std::move(frame)]() mutable {
+    // consistent channel state. This Frame-by-value capture is the largest
+    // event closure in the tree — InlineTask's buffer is sized to hold it,
+    // and the static_assert keeps that true as Packet/Frame grow.
+    auto deliver = [this, dest, frame = std::move(frame)]() mutable {
       owners_[dest].on_delivery(std::move(frame));
-    });
+    };
+    static_assert(sim::InlineTask::fits_inline<decltype(deliver)>);
+    loop_.ScheduleAt(end, "wifi.deliver", std::move(deliver));
   }
 }
 

@@ -1,12 +1,33 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_loop.h"
+#include "sim/inline_task.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 
 namespace kwikr::sim {
+
+/// White-box access for the generation-wraparound tests: lets a test place a
+/// slot's generation counter at the wrap boundary without 2^32 schedules.
+struct EventLoopTestPeer {
+  static void SetSlotGeneration(EventLoop& loop, std::uint32_t slot,
+                                std::uint32_t generation) {
+    loop.SlotAt(slot).generation = generation;
+  }
+  static std::uint32_t SlotOfId(EventId id) {
+    return static_cast<std::uint32_t>((id >> 32) - 1);
+  }
+  static std::uint32_t GenerationOfId(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+};
+
 namespace {
 
 // ---------------------------------------------------------------- Time ----
@@ -228,6 +249,357 @@ TEST(PeriodicTimer, DestructorCancels) {
   }
   loop.RunUntil(Millis(100));
   EXPECT_EQ(count, 0);
+}
+
+// Contract regression: Fire() reschedules before invoking the callback, so a
+// callback that stops its own timer must also cancel that already-pending
+// next firing — otherwise "Stop" would still deliver one more tick.
+TEST(PeriodicTimer, StopFromInsideCallbackCancelsRescheduledFiring) {
+  EventLoop loop;
+  int count = 0;
+  PeriodicTimer timer(loop, Millis(10), [&] {
+    ++count;
+    timer.Stop();
+  });
+  timer.Start();
+  loop.RunUntil(Millis(200));
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(timer.running());
+  EXPECT_EQ(loop.pending(), 0u);  // the rescheduled firing is gone, not live.
+}
+
+TEST(PeriodicTimer, RestartFromInsideCallbackKeepsFiring) {
+  EventLoop loop;
+  std::vector<Time> fires;
+  PeriodicTimer timer(loop, Millis(10), [&] {
+    fires.push_back(loop.now());
+    if (fires.size() == 1) timer.Start(Millis(5));  // re-anchor mid-stream.
+  });
+  timer.Start();
+  loop.RunUntil(Millis(30));
+  EXPECT_EQ(fires, (std::vector<Time>{Millis(10), Millis(15), Millis(25)}));
+}
+
+// ------------------------------------------------- scheduler internals ----
+
+// Regression for the RunUntil deadline overrun: with a cancelled event at
+// the heap top, the old `top().at <= deadline` check inspected the cancelled
+// entry and then executed the NEXT event even when it lay past the deadline.
+TEST(EventLoop, RunUntilIgnoresCancelledHeadAtDeadline) {
+  EventLoop loop;
+  int ran = 0;
+  const EventId head = loop.ScheduleAt(Millis(10), [&] { ++ran; });
+  loop.ScheduleAt(Millis(30), [&] { ++ran; });
+  ASSERT_TRUE(loop.Cancel(head));
+  loop.RunUntil(Millis(20));
+  EXPECT_EQ(ran, 0);  // nothing past the deadline may run.
+  EXPECT_EQ(loop.now(), Millis(20));
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.RunUntil(Millis(30));
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventLoop, RunUntilWithOnlyCancelledEventsAdvancesClock) {
+  EventLoop loop;
+  const EventId a = loop.ScheduleAt(Millis(5), [] {});
+  const EventId b = loop.ScheduleAt(Millis(6), [] {});
+  loop.Cancel(a);
+  loop.Cancel(b);
+  loop.RunUntil(Millis(50));
+  EXPECT_EQ(loop.now(), Millis(50));
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.executed(), 0u);
+}
+
+TEST(EventLoop, CompactionBoundsTombstonesUnderCancelChurn) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  ids.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(loop.ScheduleAt(Millis(i + 1), [] {}));
+  }
+  // Cancel 600 events spread across the heap. Without compaction the heap
+  // would carry all 600 tombstones until they surface at the top.
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size() && cancelled < 600; i += 1) {
+    if (i % 5 != 4) {  // skip every 5th to interleave live survivors.
+      ASSERT_TRUE(loop.Cancel(ids[i]));
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(loop.pending(), 400u);
+  // The sweep fires once tombstones exceed half the heap, so the steady
+  // state can never hold the full cancel count.
+  EXPECT_LT(loop.tombstones(), 300u);
+  int ran = 0;
+  loop.SetProbe(nullptr);
+  loop.Run();
+  EXPECT_EQ(loop.executed(), 400u);
+  EXPECT_EQ(loop.tombstones(), 0u);
+  (void)ran;
+}
+
+TEST(EventLoop, CancelChurnPreservesFifoOfSurvivors) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(loop.ScheduleAt(Millis(7), [&order, i] {
+      order.push_back(i);
+    }));
+  }
+  for (int i = 0; i < 200; i += 2) loop.Cancel(ids[i]);
+  loop.Run();
+  ASSERT_EQ(order.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(EventLoop, SlotReuseInvalidatesOldIds) {
+  EventLoop loop;
+  const EventId first = loop.ScheduleAt(Millis(1), [] {});
+  ASSERT_TRUE(loop.Cancel(first));
+  loop.Run();  // reaps the tombstone, which releases the slot.
+  // The freed slot is recycled for the next schedule with a new generation.
+  const EventId second = loop.ScheduleAt(Millis(2), [] {});
+  EXPECT_EQ(EventLoopTestPeer::SlotOfId(first),
+            EventLoopTestPeer::SlotOfId(second));
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(loop.Cancel(first));  // stale id must not hit the new tenant.
+  EXPECT_TRUE(loop.Cancel(second));
+}
+
+TEST(EventLoop, GenerationWraparoundRejectsStaleCancel) {
+  EventLoop loop;
+  // Park slot 0's generation at the 32-bit boundary.
+  const EventId seed = loop.ScheduleAt(Millis(1), [] {});
+  ASSERT_EQ(EventLoopTestPeer::SlotOfId(seed), 0u);
+  loop.Run();
+  EventLoopTestPeer::SetSlotGeneration(loop, 0, 0xFFFFFFFFu);
+
+  const EventId pre_wrap = loop.ScheduleAt(Millis(2), [] {});
+  EXPECT_EQ(EventLoopTestPeer::GenerationOfId(pre_wrap), 0xFFFFFFFFu);
+  loop.Run();  // executing releases the slot; the generation wraps to 0.
+
+  const EventId post_wrap = loop.ScheduleAt(Millis(3), [] {});
+  EXPECT_EQ(EventLoopTestPeer::SlotOfId(post_wrap), 0u);
+  EXPECT_EQ(EventLoopTestPeer::GenerationOfId(post_wrap), 0u);
+  EXPECT_NE(pre_wrap, post_wrap);
+  // The stale pre-wrap id carries generation 0xFFFFFFFF and must not cancel
+  // the post-wrap tenant of the same slot.
+  EXPECT_FALSE(loop.Cancel(pre_wrap));
+  EXPECT_TRUE(loop.Cancel(post_wrap));
+}
+
+// ----------------------------------------------------------- InlineTask ----
+
+/// Counts constructions/destructions so the tests can prove captured state
+/// is destroyed exactly once across moves, schedules, cancels, and runs.
+struct Tracked {
+  static int live;
+  static int total_constructed;
+  int payload = 42;
+  Tracked() { ++live; ++total_constructed; }
+  Tracked(const Tracked& o) : payload(o.payload) { ++live; ++total_constructed; }
+  Tracked(Tracked&& o) noexcept : payload(o.payload) {
+    ++live;
+    ++total_constructed;
+  }
+  ~Tracked() { --live; }
+};
+int Tracked::live = 0;
+int Tracked::total_constructed = 0;
+
+TEST(InlineTask, MoveTransfersAndDestroysExactlyOnce) {
+  Tracked::live = 0;
+  int invoked = 0;
+  {
+    InlineTask a = [t = Tracked{}, &invoked] { invoked += t.payload; };
+    EXPECT_TRUE(a.is_inline());
+    EXPECT_GE(Tracked::live, 1);
+    InlineTask b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(Tracked::live, 1);  // relocation destroyed the source copy.
+    b();
+    b();  // invocation is non-destructive (PeriodicTimer re-fires it).
+    EXPECT_EQ(invoked, 84);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineTask, MoveAssignmentReleasesPreviousTask) {
+  Tracked::live = 0;
+  InlineTask a = [t = Tracked{}] { (void)t; };
+  InlineTask b = [t = Tracked{}] { (void)t; };
+  EXPECT_EQ(Tracked::live, 2);
+  b = std::move(a);
+  EXPECT_EQ(Tracked::live, 1);  // b's old capture destroyed, a's moved in.
+  b = InlineTask();
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineTask, OversizedCaptureFallsBackToHeapAndStillDestroysOnce) {
+  struct Big {
+    Tracked t;
+    unsigned char ballast[2 * InlineTask::kInlineCapacity] = {};
+  };
+  static_assert(!InlineTask::fits_inline<Big>);
+  Tracked::live = 0;
+  int invoked = 0;
+  {
+    InlineTask task = [big = Big{}, &invoked]() { invoked += big.t.payload; };
+    EXPECT_FALSE(task.is_inline());
+    InlineTask moved = std::move(task);
+    moved();
+    EXPECT_EQ(invoked, 42);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineTask, EventLoopDestroysCancelledCapturesEagerly) {
+  EventLoop loop;
+  Tracked::live = 0;
+  const EventId id = loop.ScheduleAt(Millis(1), [t = Tracked{}] { (void)t; });
+  EXPECT_EQ(Tracked::live, 1);
+  ASSERT_TRUE(loop.Cancel(id));
+  // Cancellation releases the capture immediately — not when the tombstone
+  // is eventually reaped from the heap.
+  EXPECT_EQ(Tracked::live, 0);
+  loop.Run();
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineTask, InTreeEventClosureShapesFitInline) {
+  // Archetypes of every scheduling layer's captures. The wifi.deliver shape
+  // (a ~184-byte Frame by value) is the sizing floor for kInlineCapacity.
+  struct PacketSized { unsigned char bytes[168]; };
+  struct FrameSized { unsigned char bytes[184]; };
+  auto this_only = [this] {};
+  auto timeout = [this, id = std::uint64_t{1}] {};
+  auto packet_hop = [this, p = PacketSized{}]() mutable { (void)p; };
+  auto frame_delivery = [this, dest = std::uint32_t{0},
+                         f = FrameSized{}]() mutable { (void)f; };
+  static_assert(InlineTask::fits_inline<decltype(this_only)>);
+  static_assert(InlineTask::fits_inline<decltype(timeout)>);
+  static_assert(InlineTask::fits_inline<decltype(packet_hop)>);
+  static_assert(InlineTask::fits_inline<decltype(frame_delivery)>);
+}
+
+// ------------------------------------------------- differential testing ----
+
+/// Naive reference scheduler: a flat vector scanned for the (time, seq)
+/// minimum on every step. Trivially correct; the real loop must match it
+/// operation for operation.
+class ReferenceScheduler {
+ public:
+  std::uint64_t Schedule(Time at, int tag) {
+    events_.push_back({std::max(at, now_), next_seq_++, tag, false});
+    return events_.back().seq;
+  }
+  bool Cancel(std::uint64_t seq) {
+    for (auto& e : events_) {
+      if (e.seq == seq && !e.cancelled) {
+        e.cancelled = true;
+        return true;
+      }
+    }
+    return false;
+  }
+  /// Runs the earliest live event; returns its tag or -1 when empty.
+  int Step() {
+    std::size_t best = events_.size();
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (events_[i].cancelled) continue;
+      if (best == events_.size() || events_[i].at < events_[best].at ||
+          (events_[i].at == events_[best].at &&
+           events_[i].seq < events_[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == events_.size()) return -1;
+    const int tag = events_[best].tag;
+    now_ = events_[best].at;
+    events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(best));
+    events_.erase(std::remove_if(events_.begin(), events_.end(),
+                                 [](const auto& e) { return e.cancelled; }),
+                  events_.end());
+    return tag;
+  }
+  [[nodiscard]] std::size_t pending() const {
+    std::size_t n = 0;
+    for (const auto& e : events_) n += e.cancelled ? 0 : 1;
+    return n;
+  }
+  [[nodiscard]] Time now() const { return now_; }
+
+ private:
+  struct Ref {
+    Time at;
+    std::uint64_t seq;
+    int tag;
+    bool cancelled;
+  };
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::vector<Ref> events_;
+};
+
+// 10^5 randomized mixed schedule/cancel/run operations executed in lockstep
+// against the reference scheduler: execution order, cancellation results,
+// clock, and pending counts must all agree.
+TEST(EventLoop, DifferentialAgainstReferenceScheduler) {
+  EventLoop loop;
+  ReferenceScheduler ref;
+  Rng rng(0xD1FFu);
+  std::vector<int> real_log;
+  std::vector<int> ref_log;
+  // Parallel vectors: the i-th schedule's id in both schedulers.
+  std::vector<EventId> real_ids;
+  std::vector<std::uint64_t> ref_ids;
+  int next_tag = 0;
+
+  for (int op = 0; op < 100'000; ++op) {
+    const auto roll = rng.UniformInt(0, 9);
+    if (roll < 5) {  // schedule (50%)
+      const Time at = loop.now() + rng.UniformInt(0, 100);
+      const int tag = next_tag++;
+      real_ids.push_back(
+          loop.ScheduleAt(at, [tag, &real_log] { real_log.push_back(tag); }));
+      ref_ids.push_back(ref.Schedule(at, tag));
+    } else if (roll < 8) {  // cancel a random past id, maybe stale (30%)
+      if (!real_ids.empty()) {
+        const auto pick = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<int>(real_ids.size()) - 1));
+        EXPECT_EQ(loop.Cancel(real_ids[pick]), ref.Cancel(ref_ids[pick]));
+      }
+    } else {  // run one event (20%)
+      const int expect_tag = ref.Step();
+      const bool ran = loop.Step();
+      EXPECT_EQ(ran, expect_tag != -1);
+      if (ran) {
+        ASSERT_FALSE(real_log.empty());
+        EXPECT_EQ(real_log.back(), expect_tag);
+        EXPECT_EQ(loop.now(), ref.now());
+      }
+    }
+    if (op % 1024 == 0) {
+      EXPECT_EQ(loop.pending(), ref.pending());
+    }
+  }
+  // Drain both completely and compare the full execution order.
+  while (true) {
+    const int tag = ref.Step();
+    if (tag == -1) break;
+    ref_log.push_back(tag);
+  }
+  std::size_t drained = real_log.size();
+  loop.Run();
+  std::vector<int> real_tail(real_log.begin() +
+                                 static_cast<std::ptrdiff_t>(drained),
+                             real_log.end());
+  EXPECT_EQ(real_tail, ref_log);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.now(), ref.now());
 }
 
 // ----------------------------------------------------------------- Rng ----
