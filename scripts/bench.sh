@@ -17,6 +17,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/common.sh
+source scripts/common.sh
 jobs=$(nproc 2>/dev/null || echo 4)
 
 quick=""
@@ -30,7 +32,9 @@ for arg in "$@"; do
 done
 
 echo "== build (Release) =="
-cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+# ensure_build_dir wipes a build-bench poisoned by a leftover sanitizer
+# cache entry — Release numbers from an instrumented build are garbage.
+ensure_build_dir build-bench Release ""
 cmake --build build-bench -j "$jobs" --target micro_eventloop fig10_wild_delay
 
 echo "== micro_eventloop =="

@@ -1,47 +1,126 @@
 #!/usr/bin/env bash
-# Repo verification gate:
+# Repo verification gate (the merge bar — CI runs exactly this):
 #   1. tier-1: configure + build + full ctest in ./build
-#   2. concurrency: rebuild the observability + fleet tests under
-#      ThreadSanitizer (-DKWIKR_SANITIZE=thread) and run `ctest -L obs`
-#      (the label covers obs_test and fleet_test, the two suites exercising
-#      the shared-registry merge paths).
+#   2. tsan: rebuild the concurrency-sensitive suites under ThreadSanitizer
+#      (-DKWIKR_SANITIZE=thread) and run `ctest -L obs` + `ctest -L faults`
+#      (registry merge paths, fleet sharding, and the golden corpus whose
+#      byte-stability depends on worker-count independence).
 #   3. perf: Release-mode micro_eventloop smoke against the committed
 #      BENCH_eventloop.json — fails when dispatch events/sec regresses more
 #      than 20% or the dispatch path allocates.
 #
-# Usage: scripts/check.sh [--no-tsan] [--no-bench]
+# Usage: scripts/check.sh [--ci] [--no-tsan] [--no-bench]
+#   --ci  machine-readable per-step summary lines (CHECK-STEP|name|status)
+#         on stdout and, when $GITHUB_STEP_SUMMARY is set, a markdown table
+#         appended there. All steps run even after a failure so CI reports
+#         every broken leg at once; the exit code is non-zero if any failed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/common.sh
+source scripts/common.sh
 jobs=$(nproc 2>/dev/null || echo 4)
 
+ci=0
 run_tsan=1
 run_bench=1
 for arg in "$@"; do
   case "$arg" in
+    --ci) ci=1 ;;
     --no-tsan) run_tsan=0 ;;
     --no-bench) run_bench=0 ;;
-    *) echo "usage: scripts/check.sh [--no-tsan] [--no-bench]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--ci] [--no-tsan] [--no-bench]" >&2
+       exit 2 ;;
   esac
 done
 
-echo "== tier-1: build + full test suite =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$jobs"
-ctest --test-dir build --output-on-failure -j "$jobs"
+declare -a step_names=()
+declare -a step_results=()
+failed=0
 
-if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: obs + fleet tests under ThreadSanitizer =="
-  cmake -B build-tsan -S . -DKWIKR_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$jobs" --target obs_test fleet_test
+# run_step <name> <function>: runs the step in a subshell with errexit so a
+# failing command anywhere inside fails the whole step (calling a function
+# from a conditional would silently disable `set -e` within it — the classic
+# exit-propagation bug this wrapper exists to avoid). In --ci mode failures
+# are recorded and reported at the end; interactively they abort at once.
+run_step() {
+  local name="$1" fn="$2"
+  echo "== $name =="
+  local status=ok
+  if ! (set -euo pipefail; "$fn"); then
+    status=fail
+    failed=1
+  fi
+  step_names+=("$name")
+  step_results+=("$status")
+  if [[ "$ci" == 1 ]]; then
+    echo "CHECK-STEP|$name|$status"
+  elif [[ "$status" == fail ]]; then
+    echo "check.sh: step '$name' failed" >&2
+    exit 1
+  fi
+}
+
+skip_step() {
+  local name="$1" reason="$2"
+  echo "warning: skipping step '$name': $reason" >&2
+  step_names+=("$name")
+  step_results+=("skipped: $reason")
+  [[ "$ci" == 1 ]] && echo "CHECK-STEP|$name|skipped"
+  return 0
+}
+
+step_tier1() {
+  ensure_build_dir build "" ""
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+}
+
+step_tsan() {
+  ensure_build_dir build-tsan "" thread
+  cmake --build build-tsan -j "$jobs" \
+    --target obs_test fleet_test faults_test golden_runner
   ctest --test-dir build-tsan -L obs --output-on-failure -j "$jobs"
-fi
+  ctest --test-dir build-tsan -L faults --output-on-failure -j "$jobs"
+}
 
-if [[ "$run_bench" == 1 && -f BENCH_eventloop.json ]]; then
-  echo "== perf: micro_eventloop smoke vs committed baseline =="
-  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+step_bench() {
+  ensure_build_dir build-bench Release ""
   cmake --build build-bench -j "$jobs" --target micro_eventloop
   ./build-bench/bench/micro_eventloop --quick --baseline BENCH_eventloop.json
+}
+
+run_step "tier-1: build + full test suite" step_tier1
+
+if [[ "$run_tsan" == 1 ]]; then
+  run_step "tsan: obs + faults suites under ThreadSanitizer" step_tsan
+else
+  skip_step "tsan" "--no-tsan requested"
 fi
 
+if [[ "$run_bench" == 0 ]]; then
+  skip_step "bench" "--no-bench requested"
+elif [[ ! -f BENCH_eventloop.json ]]; then
+  # Not silent: a missing baseline means the perf gate is not protecting
+  # anything, and whoever reads the log should know that.
+  skip_step "bench" "BENCH_eventloop.json not committed; run scripts/bench.sh"
+else
+  run_step "perf: micro_eventloop smoke vs committed baseline" step_bench
+fi
+
+if [[ "$ci" == 1 && -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+  {
+    echo "### check.sh"
+    echo "| step | result |"
+    echo "| --- | --- |"
+    for i in "${!step_names[@]}"; do
+      echo "| ${step_names[$i]} | ${step_results[$i]} |"
+    done
+  } >> "$GITHUB_STEP_SUMMARY"
+fi
+
+if [[ "$failed" == 1 ]]; then
+  echo "check.sh: FAILED" >&2
+  exit 1
+fi
 echo "check.sh: all green"

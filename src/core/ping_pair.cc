@@ -40,6 +40,8 @@ void PingPairProber::SetChannelAccessProvider(ChannelAccessProvider provider) {
   channel_access_ = std::move(provider);
 }
 
+void PingPairProber::SetClock(ClockModel clock) { clock_ = std::move(clock); }
+
 void PingPairProber::StartRound() {
   const std::uint64_t id = next_round_++;
   Round& round = rounds_[id];
@@ -64,7 +66,7 @@ void PingPairProber::StartRound() {
 void PingPairProber::SendPair(Round& round, int pair) {
   // Normal-priority ping goes first so that both replies are enqueued at the
   // AP's downlink concurrently (Section 5.2).
-  const sim::Time now = loop_.now();
+  const sim::Time now = LocalClock(loop_.now());
   round.ping[pair][0].sent_at = now;
   transport_.SendEcho(net::kTosBestEffort, config_.ident,
                       MakeSequence(round.id, pair, false),
@@ -99,7 +101,7 @@ void PingPairProber::OnReply(const net::Packet& packet, sim::Time arrival) {
   PingState& state = it->second.ping[pair][prio];
   if (state.received) return;  // duplicate.
   state.received = true;
-  state.arrival = arrival;
+  state.arrival = LocalClock(arrival);
   state.transmissions = packet.mac.transmissions;
   MaybeComplete(it->first);
 }

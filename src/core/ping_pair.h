@@ -78,6 +78,12 @@ class PingPairProber {
   /// Optional measured channel-access delay source (Linux-style attribution;
   /// when absent the fixed value from AttributionConfig is used).
   using ChannelAccessProvider = std::function<sim::Duration()>;
+  /// Optional client-clock model: maps true sim time to the timestamp the
+  /// client's (possibly skewed) clock would record. Applied to both send
+  /// and arrival timestamps, as a real skewed clock would be — so arrival-
+  /// and ping-time differences stretch by the skew factor but stay
+  /// internally consistent (see faults::FaultInjector).
+  using ClockModel = std::function<sim::Time(sim::Time)>;
 
   PingPairProber(sim::EventLoop& loop, ProbeTransport& transport,
                  Config config, net::FlowId flow_of_interest);
@@ -98,6 +104,8 @@ class PingPairProber {
 
   void AddSampleCallback(SampleCallback callback);
   void SetChannelAccessProvider(ChannelAccessProvider provider);
+  /// Installs the client-clock model (default: identity — true sim time).
+  void SetClock(ClockModel clock);
 
   [[nodiscard]] const std::vector<PingPairSample>& samples() const {
     return samples_;
@@ -134,12 +142,17 @@ class PingPairProber {
                   sim::Time window_begin, sim::Time window_end);
   void TrimFlowLog();
 
+  [[nodiscard]] sim::Time LocalClock(sim::Time t) const {
+    return clock_ ? clock_(t) : t;
+  }
+
   sim::EventLoop& loop_;
   ProbeTransport& transport_;
   Config config_;
   net::FlowId flow_;
   sim::PeriodicTimer timer_;
   ChannelAccessProvider channel_access_;
+  ClockModel clock_;
 
   std::uint64_t next_round_ = 0;
   std::unordered_map<std::uint64_t, Round> rounds_;

@@ -1,0 +1,30 @@
+#include "faults/gilbert_elliott.h"
+
+#include <algorithm>
+
+namespace kwikr::faults {
+
+GilbertElliott::GilbertElliott(Config config, sim::Rng rng)
+    : config_(config), rng_(rng) {}
+
+sim::Duration GilbertElliott::DrawDwell() {
+  const sim::Duration mean = bad_ ? config_.mean_bad : config_.mean_good;
+  const double drawn =
+      rng_.Exponential(std::max<double>(static_cast<double>(mean), 1.0));
+  return std::max<sim::Duration>(static_cast<sim::Duration>(drawn), 1);
+}
+
+double GilbertElliott::LossProb(sim::Time now) {
+  if (!started_) {
+    started_ = true;
+    next_transition_ = now + DrawDwell();
+  }
+  while (now >= next_transition_) {
+    bad_ = !bad_;
+    ++transitions_;
+    next_transition_ += DrawDwell();
+  }
+  return bad_ ? config_.loss_bad : config_.loss_good;
+}
+
+}  // namespace kwikr::faults

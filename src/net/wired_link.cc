@@ -16,6 +16,8 @@ void WiredLink::Send(Packet packet) {
   if (!transmitting_) StartTransmission();
 }
 
+void WiredLink::SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
 void WiredLink::StartTransmission() {
   if (queue_.empty()) {
     transmitting_ = false;
@@ -28,6 +30,18 @@ void WiredLink::StartTransmission() {
   loop_.ScheduleIn(tx, "net.wire_tx", [this] {
     Packet packet = std::move(queue_.front());
     queue_.pop_front();
+    // Fault injection: the wire may lose the packet or hold it beyond the
+    // nominal propagation delay (jitter → later packets overtake).
+    sim::Duration propagation = config_.propagation;
+    if (fault_hook_) {
+      const LinkFault fault = fault_hook_(packet);
+      if (fault.drop) {
+        ++faulted_;
+        StartTransmission();
+        return;
+      }
+      propagation += std::max<sim::Duration>(fault.extra_delay, 0);
+    }
     ++delivered_;
     // Propagation happens in parallel with the next serialization. The
     // Packet rides in the closure by value; it must stay within
@@ -36,8 +50,7 @@ void WiredLink::StartTransmission() {
       receiver_(std::move(packet));
     };
     static_assert(sim::InlineTask::fits_inline<decltype(deliver)>);
-    loop_.ScheduleIn(config_.propagation, "net.wire_prop",
-                     std::move(deliver));
+    loop_.ScheduleIn(propagation, "net.wire_prop", std::move(deliver));
     StartTransmission();
   });
 }

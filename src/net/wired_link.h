@@ -28,9 +28,22 @@ class WiredLink {
   /// Enqueues a packet; drops (and counts) when the queue is full.
   void Send(Packet packet);
 
+  /// Fault-injection verdict for one packet, consulted after serialization
+  /// (see faults::FaultInjector). `drop` loses the packet on the wire;
+  /// `extra_delay` adds propagation latency to this packet only, letting
+  /// later packets overtake it (WAN reordering/jitter).
+  struct LinkFault {
+    bool drop = false;
+    sim::Duration extra_delay = 0;
+  };
+  using FaultHook = std::function<LinkFault(const Packet& packet)>;
+  void SetFaultHook(FaultHook hook);
+
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Packets the fault hook lost on the wire (excluded from `delivered`).
+  [[nodiscard]] std::uint64_t faulted() const { return faulted_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
@@ -39,10 +52,12 @@ class WiredLink {
   sim::EventLoop& loop_;
   Config config_;
   Receiver receiver_;
+  FaultHook fault_hook_;
   std::deque<Packet> queue_;
   bool transmitting_ = false;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t faulted_ = 0;
 };
 
 }  // namespace kwikr::net

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "faults/injector.h"
 #include "stats/summary.h"
 
 namespace kwikr::scenario {
@@ -38,6 +39,10 @@ obs::Labels WithArm(const obs::Labels& base, bool kwikr) {
   return labels;
 }
 
+/// Rng stream id for the fault injector, disjoint from every per-entity
+/// Fork() the testbed performs on the same seed.
+constexpr std::uint64_t kFaultRngStream = 0xFA17;
+
 }  // namespace
 
 ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
@@ -60,10 +65,26 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
   Bss::Config bss_config;
   bss_config.ap.address = kApBaseAddress;
   bss_config.ap.band = config.band;
-  bss_config.ap.wmm_enabled = config.wmm_enabled;
+  bss_config.ap.wmm_enabled =
+      config.wmm_enabled &&
+      config.faults.wmm.mode != faults::FaultSpec::WmmMode::kOff;
   bss_config.ap.queue_capacity[Index(wifi::AccessCategory::kBestEffort)] =
       config.be_queue_capacity;
   Bss& bss = testbed.AddBss(bss_config);
+
+  // --- Fault injection -----------------------------------------------------
+  // Environment-level hooks go in before any traffic exists; the per-call
+  // hooks (churn, clock skew) attach as the calls are built below.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (config.faults.any()) {
+    injector = std::make_unique<faults::FaultInjector>(
+        testbed.loop(), config.faults,
+        sim::Rng(config.seed).Fork(kFaultRngStream), metrics,
+        config.metric_labels);
+    injector->AttachChannel(testbed.channel());
+    injector->AttachAccessPoint(bss.ap());
+    injector->AttachWan(bss.downlink());
+  }
 
   // --- Calls ---------------------------------------------------------------
   std::vector<LiveCall> calls(config.calls.size());
@@ -109,6 +130,10 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
         testbed.loop(), *call.probe_transport, probe_config, call.flow);
     call.adapter = std::make_unique<core::KwikrAdapter>(testbed.loop());
     call.adapter->AttachTo(*call.prober);
+    if (injector != nullptr) {
+      injector->AttachStationChurn(*call.station);
+      injector->AttachProber(*call.prober);
+    }
     if (cc.kwikr) {
       call.receiver->SetCrossTrafficProvider(
           call.adapter->CrossTrafficProvider());
@@ -342,6 +367,7 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
   }
 
   // --- Run -----------------------------------------------------------------
+  if (injector != nullptr) injector->Arm();
   for (auto& call : calls) {
     call.sender->Start();
     call.receiver->Start();

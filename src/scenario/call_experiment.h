@@ -6,6 +6,7 @@
 
 #include "core/kwikr.h"
 #include "core/ping_pair.h"
+#include "faults/fault_spec.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "rtc/controller.h"
@@ -66,6 +67,14 @@ struct ExperimentConfig {
   // Ground-truth sampling of the AP Best-Effort downlink queue.
   bool sample_queue = false;
   sim::Duration queue_sample_interval = sim::Millis(10);
+
+  // Fault plan (default: inert). When any fault is configured a
+  // faults::FaultInjector is built from `seed` (dedicated rng stream) and
+  // attached to the channel, the AP, the wired downlink, every call
+  // station and every prober; `wmm.mode=off` additionally forces
+  // `wmm_enabled=false` on the AP. Fault counters land in `metrics` as
+  // `fault_*` series. Deterministic like everything else in the config.
+  faults::FaultSpec faults;
 
   // Observability (all optional; absent = zero overhead on the hot paths).
   //

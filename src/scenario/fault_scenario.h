@@ -1,0 +1,95 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/ping_pair.h"
+#include "core/wmm_detector.h"
+#include "faults/injector.h"
+#include "scenario/call_experiment.h"
+
+namespace kwikr::scenario {
+
+/// A self-contained, file-parseable scenario: one call experiment plus a
+/// fault plan, optionally followed by a WMM-detection pass on the same
+/// impaired AP. This is the unit of the golden corpus under tests/golden/ —
+/// each `.scenario` file parses into one of these, runs deterministically,
+/// and summarises into canonical JSON that is byte-compared against the
+/// committed expectation.
+///
+/// File format: key=value lines, `#` comments. Experiment keys:
+///
+///   name=bursty_loss          # scenario id echoed into the summary
+///   seed=7
+///   duration_ms=30000
+///   band=2.4                  # 2.4 | 5
+///   wmm=1                     # AP advertises/honours WMM
+///   client_rate_bps=26000000
+///   be_queue_capacity=150
+///   cross_stations=1
+///   flows_per_station=8
+///   congestion_start_ms=5000
+///   congestion_end_ms=20000
+///   probe_interval_ms=500
+///   dual=0                    # dual ping-pair (Section 5.6 filters)
+///   kwikr=0                   # adaptation arm of the call
+///   wmm_detection=0           # also run the Section-5.5 detector
+///
+/// Fault keys are the faults::ParseFaultSpec keys with a `fault.` prefix
+/// (repeatable `fault.schedule=` included):
+///
+///   fault.ge.enable=1
+///   fault.ge.loss_bad=0.6
+///   fault.schedule=10000 ge off
+struct FaultScenario {
+  std::string name = "unnamed";
+  ExperimentConfig experiment;
+  bool wmm_detection = false;
+};
+
+/// Parses scenario text. Returns false with a one-line description of the
+/// first offending line in `*error` on malformed input.
+bool ParseFaultScenario(std::string_view text, FaultScenario* out,
+                        std::string* error);
+
+/// Everything the golden corpus asserts on, as plain data. All fields are
+/// deterministic in the scenario alone (integer event counts, sim-time
+/// percentiles, exact fault/discard counters).
+struct FaultScenarioSummary {
+  std::string name;
+
+  // The call.
+  double mean_rate_kbps = 0.0;
+  double loss_pct = 0.0;
+  double late_frame_pct = 0.0;
+
+  // Ping-Pair delay decomposition percentiles, milliseconds.
+  double tq_p50_ms = 0.0, tq_p95_ms = 0.0, tq_p99_ms = 0.0;
+  double ta_p50_ms = 0.0, ta_p95_ms = 0.0, ta_p99_ms = 0.0;
+  double tc_p50_ms = 0.0, tc_p95_ms = 0.0, tc_p99_ms = 0.0;
+
+  // Probe accounting, including every discard reason (Section 5.6).
+  core::PingPairStats probe;
+
+  // What the injector did (exact counts).
+  faults::FaultCounters fault_counters;
+
+  // Environment.
+  double channel_busy_pct = 0.0;
+  std::uint64_t events_executed = 0;
+
+  // WMM detection pass (only when the scenario asked for it).
+  bool wmm_ran = false;
+  core::WmmResult wmm;
+};
+
+/// Runs the scenario to completion. Deterministic in the scenario content.
+FaultScenarioSummary RunFaultScenario(const FaultScenario& scenario);
+
+/// Canonical JSON: fixed key order, fixed precision (%.3f for millisecond
+/// and percentage values), newline-terminated — byte-stable across reruns,
+/// worker counts and (toolchain-default IEEE arithmetic) compilers, which
+/// is what lets the golden test compare bytes instead of parsing.
+std::string ToCanonicalJson(const FaultScenarioSummary& summary);
+
+}  // namespace kwikr::scenario

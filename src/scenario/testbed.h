@@ -81,6 +81,8 @@ class Bss {
   transport::TokenBucket& InstallThrottle(transport::TokenBucket::Config cfg);
 
   [[nodiscard]] wifi::AccessPoint& ap() { return *ap_; }
+  /// The wired WAN→AP link (fault-injection and observability hook point).
+  [[nodiscard]] net::WiredLink& downlink() { return *downlink_; }
   [[nodiscard]] const std::vector<std::unique_ptr<wifi::Station>>& stations()
       const {
     return stations_;

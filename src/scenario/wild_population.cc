@@ -58,11 +58,15 @@ double SamplePercentileMs(const std::vector<core::PingPairSample>& samples,
 /// One environment end to end. All randomness flows from `call_rng` — a
 /// per-index fork of the population RNG — so environments are independent
 /// tasks the fleet runner can execute on any worker in any order.
-WildCallResult RunOneEnvironment(const WildConfig& config, sim::Rng call_rng,
+WildCallResult RunOneEnvironment(const WildConfig& config, std::size_t index,
+                                 sim::Rng call_rng,
                                  obs::MetricsRegistry* metrics) {
   const std::uint64_t call_seed = call_rng.Next();
   ExperimentConfig experiment = DrawEnvironment(call_rng, config, call_seed);
   experiment.metrics = metrics;  // worker-local; merged by the caller.
+  if (!config.fault_matrix.empty()) {
+    experiment.faults = config.fault_matrix[index % config.fault_matrix.size()];
+  }
 
   // Paired A/B under common random numbers: the environment (seed,
   // topology, congestion schedule) is identical; only the adaptation arm
@@ -110,12 +114,13 @@ WildResults RunWildPopulation(const WildConfig& config) {
       static_cast<std::size_t>(std::max(config.calls, 0)), config.jobs,
       [&](std::size_t index) {
         if (!observed) {
-          return RunOneEnvironment(config, base_rng.Fork(index), nullptr);
+          return RunOneEnvironment(config, index, base_rng.Fork(index),
+                                   nullptr);
         }
         const auto wall_begin = std::chrono::steady_clock::now();
         obs::MetricsRegistry local;
         WildCallResult r =
-            RunOneEnvironment(config, base_rng.Fork(index), &local);
+            RunOneEnvironment(config, index, base_rng.Fork(index), &local);
         stage->MergeRegistry(local);
         stats::RunningSummary wall;
         wall.Add(std::chrono::duration<double, std::milli>(

@@ -26,6 +26,13 @@ struct WildConfig {
   /// for any value of `jobs`.
   int jobs = 1;
 
+  /// Fault matrix: environment `i` runs under `fault_matrix[i % size]`
+  /// (empty = no faults anywhere). This is how a population sweep shards a
+  /// set of impairment profiles across its environments; because the
+  /// assignment depends only on the index, the determinism guarantee above
+  /// is unchanged.
+  std::vector<faults::FaultSpec> fault_matrix;
+
   /// Optional observability sinks. Each environment accumulates simulated
   /// counters/histograms into its own worker-local registry which is merged
   /// once when the task completes — since every merge rule is associative

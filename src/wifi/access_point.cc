@@ -37,6 +37,10 @@ void AccessPoint::SetWanForwarder(std::function<void(net::Packet)> forwarder) {
   wan_forwarder_ = std::move(forwarder);
 }
 
+void AccessPoint::SetDownlinkClassifier(DownlinkClassifier classifier) {
+  downlink_classifier_ = std::move(classifier);
+}
+
 void AccessPoint::EnableRateAdaptation(ArfPolicy::Config config) {
   arf_enabled_ = true;
   arf_config_ = config;
@@ -125,9 +129,9 @@ void AccessPoint::EnqueueDownlink(net::Packet packet) {
     return;
   }
   Station* station = it->second;
-  const AccessCategory ac = config_.wmm_enabled
-                                ? TosToAccessCategory(packet.tos)
-                                : AccessCategory::kBestEffort;
+  AccessCategory ac = config_.wmm_enabled ? TosToAccessCategory(packet.tos)
+                                          : AccessCategory::kBestEffort;
+  if (downlink_classifier_) ac = downlink_classifier_(packet, ac);
   Frame frame;
   frame.dest = station->owner();
   if (arf_enabled_) {

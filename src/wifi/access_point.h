@@ -58,6 +58,14 @@ class AccessPoint {
   /// not in this BSS (uplink traffic to servers).
   void SetWanForwarder(std::function<void(net::Packet)> forwarder);
 
+  /// Fault hook: overrides the downlink TOS→AC classification per packet.
+  /// Receives the AC the normal path chose and returns the AC to enqueue
+  /// on — how faults::FaultInjector realizes a "WMM-partial" AP that only
+  /// sometimes honours priority (paper Section 5.5's adversary).
+  using DownlinkClassifier = std::function<AccessCategory(
+      const net::Packet& packet, AccessCategory chosen)>;
+  void SetDownlinkClassifier(DownlinkClassifier classifier);
+
   /// Enables per-station ARF rate adaptation on the downlink: the AP learns
   /// each station's sustainable MCS from frame outcomes instead of using
   /// the station's configured rate.
@@ -101,6 +109,7 @@ class AccessPoint {
   std::array<ContenderId, kNumAccessCategories> downlink_;
   std::unordered_map<net::Address, Station*> stations_;
   std::function<void(net::Packet)> wan_forwarder_;
+  DownlinkClassifier downlink_classifier_;
   std::uint64_t unroutable_drops_ = 0;
   std::uint64_t echo_replies_sent_ = 0;
   bool arf_enabled_ = false;

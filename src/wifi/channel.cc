@@ -58,6 +58,10 @@ void Channel::SetFrameErrorModel(FrameErrorModel model) {
   error_model_ = std::move(model);
 }
 
+void Channel::SetDeliveryFaultHook(DeliveryFaultHook hook) {
+  delivery_fault_hook_ = std::move(hook);
+}
+
 void Channel::SetDropHandler(DropHandler handler) {
   drop_handler_ = std::move(handler);
 }
@@ -320,16 +324,34 @@ void Channel::HandleSuccess(ContenderId id, sim::Time end) {
   const OwnerId dest = frame.dest;
   assert(dest < owners_.size());
   if (owners_[dest].on_delivery) {
+    // Fault injection: the hook may swallow, delay (reorder) or duplicate
+    // the delivery. The MAC bookkeeping above is untouched either way — a
+    // faulted frame was still transmitted and acknowledged on the air.
+    sim::Time deliver_at = end;
+    int copies = 1;
+    if (delivery_fault_hook_) {
+      const DeliveryFault fault = delivery_fault_hook_(frame, end);
+      if (fault.drop) return;
+      deliver_at = end + std::max<sim::Duration>(fault.delay, 0);
+      copies = 1 + std::max(fault.duplicates, 0);
+    }
     // Deliver at the end of the frame (now). Scheduled rather than called
     // inline so receiver actions (e.g. an ICMP reply enqueue) observe a
     // consistent channel state. This Frame-by-value capture is the largest
     // event closure in the tree — InlineTask's buffer is sized to hold it,
     // and the static_assert keeps that true as Packet/Frame grow.
+    for (int copy = 1; copy < copies; ++copy) {
+      auto deliver_copy = [this, dest, frame]() mutable {
+        owners_[dest].on_delivery(std::move(frame));
+      };
+      static_assert(sim::InlineTask::fits_inline<decltype(deliver_copy)>);
+      loop_.ScheduleAt(deliver_at, "wifi.deliver", std::move(deliver_copy));
+    }
     auto deliver = [this, dest, frame = std::move(frame)]() mutable {
       owners_[dest].on_delivery(std::move(frame));
     };
     static_assert(sim::InlineTask::fits_inline<decltype(deliver)>);
-    loop_.ScheduleAt(end, "wifi.deliver", std::move(deliver));
+    loop_.ScheduleAt(deliver_at, "wifi.deliver", std::move(deliver));
   }
 }
 

@@ -83,6 +83,22 @@ class Channel {
   /// Installs the wireless frame-error model (default: no errors).
   void SetFrameErrorModel(FrameErrorModel model);
 
+  /// Fault-injection verdict for one successfully received frame, consulted
+  /// before its delivery is scheduled (see faults::FaultInjector). `delay`
+  /// postpones this frame's delivery past later frames (reordering);
+  /// `duplicates` delivers extra copies; `drop` swallows the frame after the
+  /// MAC already counted it delivered (a vanishing-frame pathology).
+  struct DeliveryFault {
+    bool drop = false;
+    int duplicates = 0;
+    sim::Duration delay = 0;
+  };
+  using DeliveryFaultHook =
+      std::function<DeliveryFault(const Frame& frame, sim::Time at)>;
+  /// Installs the delivery fault hook (default: none). The hook sees every
+  /// frame that survived MAC contention, across all owners of this channel.
+  void SetDeliveryFaultHook(DeliveryFaultHook hook);
+
   /// Optional handler invoked when a frame exhausts its retries.
   void SetDropHandler(DropHandler handler);
 
@@ -153,6 +169,7 @@ class Channel {
   sim::Rng rng_;
   PhyParams phy_;
   FrameErrorModel error_model_;
+  DeliveryFaultHook delivery_fault_hook_;
   DropHandler drop_handler_;
 
   std::vector<Owner> owners_;
