@@ -80,8 +80,9 @@ void BM_SaturatedEdcaChannel(benchmark::State& state) {
     sim::EventLoop loop;
     wifi::Channel channel(loop, sim::Rng{3});
     std::uint64_t delivered = 0;
+    auto on_delivery = [&](wifi::Frame) { ++delivered; };
     const wifi::OwnerId dst =
-        channel.RegisterOwner([&](wifi::Frame) { ++delivered; });
+        channel.RegisterOwner(on_delivery);
     const wifi::OwnerId src = channel.RegisterOwner(nullptr);
     const wifi::ContenderId c = channel.CreateContender(
         src, wifi::AccessCategory::kBestEffort, wifi::DefaultEdcaParams()[1],

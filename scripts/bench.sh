@@ -6,6 +6,9 @@
 #       throughput of the allocation-free scheduler vs the pre-rewrite
 #       std::function + hash-set baseline (events/sec, allocs/event,
 #       wall time, peak RSS).
+#   BENCH_channel.json   — micro_channel: saturated multi-AC EDCA contention
+#       plus a ping-pair probe through wifi::Channel (frames/sec,
+#       allocs/frame — must be zero, busy fraction, peak RSS).
 #   BENCH_fig10.json     — fixed-seed fig10 wild-population sweep
 #       (simulated events/sec inside a full scenario, wall time, peak RSS),
 #       plus a byte-identity check of --metrics-out between --jobs 1 and
@@ -35,10 +38,14 @@ echo "== build (Release) =="
 # ensure_build_dir wipes a build-bench poisoned by a leftover sanitizer
 # cache entry — Release numbers from an instrumented build are garbage.
 ensure_build_dir build-bench Release ""
-cmake --build build-bench -j "$jobs" --target micro_eventloop fig10_wild_delay
+cmake --build build-bench -j "$jobs" \
+  --target micro_eventloop micro_channel fig10_wild_delay
 
 echo "== micro_eventloop =="
 ./build-bench/bench/micro_eventloop $quick --json BENCH_eventloop.json
+
+echo "== micro_channel =="
+./build-bench/bench/micro_channel $quick --json BENCH_channel.json
 
 if [[ "$run_fig10" == 1 ]]; then
   echo "== fig10 fixed-seed sweep (150 calls, seed 1010) =="
@@ -66,5 +73,6 @@ fi
 
 echo "== results =="
 cat BENCH_eventloop.json
+cat BENCH_channel.json
 [[ "$run_fig10" == 1 ]] && cat BENCH_fig10.json
 echo "bench.sh: done"

@@ -3,11 +3,13 @@
 #   1. tier-1: configure + build + full ctest in ./build
 #   2. tsan: rebuild the concurrency-sensitive suites under ThreadSanitizer
 #      (-DKWIKR_SANITIZE=thread) and run `ctest -L obs` + `ctest -L faults`
-#      (registry merge paths, fleet sharding, and the golden corpus whose
-#      byte-stability depends on worker-count independence).
-#   3. perf: Release-mode micro_eventloop smoke against the committed
-#      BENCH_eventloop.json — fails when dispatch events/sec regresses more
-#      than 20% or the dispatch path allocates.
+#      + `ctest -L frame_path` (registry merge paths, fleet sharding, the
+#      golden corpus whose byte-stability depends on worker-count
+#      independence, and the frame-path primitives the sharded runs lean on).
+#   3. perf: Release-mode micro_eventloop + micro_channel smoke against the
+#      committed BENCH_eventloop.json / BENCH_channel.json — fails when the
+#      headline throughput regresses more than 20% or the dispatch / frame
+#      path allocates.
 #
 # Usage: scripts/check.sh [--ci] [--no-tsan] [--no-bench]
 #   --ci  machine-readable per-step summary lines (CHECK-STEP|name|status)
@@ -79,15 +81,24 @@ step_tier1() {
 step_tsan() {
   ensure_build_dir build-tsan "" thread
   cmake --build build-tsan -j "$jobs" \
-    --target obs_test fleet_test faults_test golden_runner
+    --target obs_test fleet_test faults_test frame_path_test golden_runner
   ctest --test-dir build-tsan -L obs --output-on-failure -j "$jobs"
   ctest --test-dir build-tsan -L faults --output-on-failure -j "$jobs"
+  ctest --test-dir build-tsan -L frame_path --output-on-failure -j "$jobs"
 }
 
 step_bench() {
   ensure_build_dir build-bench Release ""
-  cmake --build build-bench -j "$jobs" --target micro_eventloop
+  cmake --build build-bench -j "$jobs" --target micro_eventloop micro_channel
   ./build-bench/bench/micro_eventloop --quick --baseline BENCH_eventloop.json
+  if [[ -f BENCH_channel.json ]]; then
+    ./build-bench/bench/micro_channel --quick --baseline BENCH_channel.json
+  else
+    # Not silent for the same reason as the missing-eventloop baseline below.
+    echo "warning: BENCH_channel.json not committed; frame-path perf gate" \
+         "inactive — run scripts/bench.sh" >&2
+    ./build-bench/bench/micro_channel --quick
+  fi
 }
 
 run_step "tier-1: build + full test suite" step_tier1
@@ -105,7 +116,7 @@ elif [[ ! -f BENCH_eventloop.json ]]; then
   # anything, and whoever reads the log should know that.
   skip_step "bench" "BENCH_eventloop.json not committed; run scripts/bench.sh"
 else
-  run_step "perf: micro_eventloop smoke vs committed baseline" step_bench
+  run_step "perf: micro bench smoke vs committed baselines" step_bench
 fi
 
 if [[ "$ci" == 1 && -n "${GITHUB_STEP_SUMMARY:-}" ]]; then

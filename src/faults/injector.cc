@@ -68,61 +68,67 @@ void FaultInjector::CountObs(const char* which, std::uint64_t n) {
 
 void FaultInjector::AttachChannel(wifi::Channel& channel,
                                   wifi::FrameErrorModel inner) {
+  inner_error_model_ = inner;
   channel.SetFrameErrorModel(
-      [this, inner = std::move(inner)](wifi::OwnerId tx, wifi::OwnerId rx,
-                                       const wifi::Frame& frame) -> double {
-        // The GE verdict is drawn here (from the injector's rng) instead of
-        // returning a probability: that keeps the loss count exact and the
-        // burst schedule independent of the channel's own rng stream.
-        if (ge_ != nullptr && active(FaultKind::kGilbertElliott)) {
-          const std::uint64_t before = ge_->transitions();
-          const bool was_bad = ge_->bad();
-          const double p = ge_->LossProb(loop_.now());
-          const std::uint64_t flips = ge_->transitions() - before;
-          if (flips > 0) {
-            const std::uint64_t bursts =
-                was_bad ? flips / 2 : (flips + 1) / 2;
-            counters_.ge_bursts += bursts;
-            CountObs("ge_bursts", bursts);
-          }
-          if (p > 0.0 && rng_.Bernoulli(p)) {
-            ++counters_.ge_losses;
-            CountObs("ge_losses");
-            return 1.0;  // this attempt is lost regardless of the rest.
-          }
-        }
-        return inner ? inner(tx, rx, frame) : 0.0;
-      });
+      wifi::FrameErrorModel::Member<&FaultInjector::ChannelErrorProb>(this));
 
-  const FaultSpec::MangleSpec mangle = spec_.mangle;
+  const FaultSpec::MangleSpec& mangle = spec_.mangle;
   if (mangle.reorder_prob > 0.0 || mangle.duplicate_prob > 0.0 ||
       mangle.drop_prob > 0.0) {
     channel.SetDeliveryFaultHook(
-        [this, mangle](const wifi::Frame&,
-                       sim::Time) -> wifi::Channel::DeliveryFault {
-          wifi::Channel::DeliveryFault fault;
-          if (active(FaultKind::kDrop) && mangle.drop_prob > 0.0 &&
-              rng_.Bernoulli(mangle.drop_prob)) {
-            fault.drop = true;
-            ++counters_.dropped;
-            CountObs("dropped");
-            return fault;
-          }
-          if (active(FaultKind::kDuplicate) && mangle.duplicate_prob > 0.0 &&
-              rng_.Bernoulli(mangle.duplicate_prob)) {
-            fault.duplicates = 1;
-            ++counters_.duplicated;
-            CountObs("duplicated");
-          }
-          if (active(FaultKind::kReorder) && mangle.reorder_prob > 0.0 &&
-              rng_.Bernoulli(mangle.reorder_prob)) {
-            fault.delay = sim::FromSeconds(mangle.reorder_delay_ms / 1000.0);
-            ++counters_.reordered;
-            CountObs("reordered");
-          }
-          return fault;
-        });
+        wifi::Channel::DeliveryFaultHook::Member<
+            &FaultInjector::MangleDelivery>(this));
   }
+}
+
+double FaultInjector::ChannelErrorProb(wifi::OwnerId tx, wifi::OwnerId rx,
+                                       const wifi::Frame& frame) {
+  // The GE verdict is drawn here (from the injector's rng) instead of
+  // returning a probability: that keeps the loss count exact and the
+  // burst schedule independent of the channel's own rng stream.
+  if (ge_ != nullptr && active(FaultKind::kGilbertElliott)) {
+    const std::uint64_t before = ge_->transitions();
+    const bool was_bad = ge_->bad();
+    const double p = ge_->LossProb(loop_.now());
+    const std::uint64_t flips = ge_->transitions() - before;
+    if (flips > 0) {
+      const std::uint64_t bursts = was_bad ? flips / 2 : (flips + 1) / 2;
+      counters_.ge_bursts += bursts;
+      CountObs("ge_bursts", bursts);
+    }
+    if (p > 0.0 && rng_.Bernoulli(p)) {
+      ++counters_.ge_losses;
+      CountObs("ge_losses");
+      return 1.0;  // this attempt is lost regardless of the rest.
+    }
+  }
+  return inner_error_model_ ? inner_error_model_(tx, rx, frame) : 0.0;
+}
+
+wifi::Channel::DeliveryFault FaultInjector::MangleDelivery(
+    const wifi::Frame& /*frame*/, sim::Time /*at*/) {
+  const FaultSpec::MangleSpec& mangle = spec_.mangle;
+  wifi::Channel::DeliveryFault fault;
+  if (active(FaultKind::kDrop) && mangle.drop_prob > 0.0 &&
+      rng_.Bernoulli(mangle.drop_prob)) {
+    fault.drop = true;
+    ++counters_.dropped;
+    CountObs("dropped");
+    return fault;
+  }
+  if (active(FaultKind::kDuplicate) && mangle.duplicate_prob > 0.0 &&
+      rng_.Bernoulli(mangle.duplicate_prob)) {
+    fault.duplicates = 1;
+    ++counters_.duplicated;
+    CountObs("duplicated");
+  }
+  if (active(FaultKind::kReorder) && mangle.reorder_prob > 0.0 &&
+      rng_.Bernoulli(mangle.reorder_prob)) {
+    fault.delay = sim::FromSeconds(mangle.reorder_delay_ms / 1000.0);
+    ++counters_.reordered;
+    CountObs("reordered");
+  }
+  return fault;
 }
 
 void FaultInjector::AttachAccessPoint(wifi::AccessPoint& ap) {

@@ -63,7 +63,10 @@ class FaultInjector {
 
   /// Installs the Gilbert–Elliott error model (composed with `inner`:
   /// independent loss processes) and the delivery mangling hook
-  /// (reorder/duplicate/drop) on the shared medium.
+  /// (reorder/duplicate/drop) on the shared medium. Both hooks dispatch
+  /// statically into this injector (FunctionRef::Member), so the injector
+  /// must outlive the channel's use of them — it already must, as the
+  /// armed schedule references it. `inner` is retained by reference too.
   void AttachChannel(wifi::Channel& channel,
                      wifi::FrameErrorModel inner = nullptr);
 
@@ -99,6 +102,12 @@ class FaultInjector {
 
   void ChurnTick(ChurnState& churn);
   void CountObs(const char* which, std::uint64_t n = 1);
+  /// FrameErrorModel target: GE verdict composed with inner_error_model_.
+  double ChannelErrorProb(wifi::OwnerId tx, wifi::OwnerId rx,
+                          const wifi::Frame& frame);
+  /// DeliveryFaultHook target: reorder/duplicate/drop per spec_.mangle.
+  wifi::Channel::DeliveryFault MangleDelivery(const wifi::Frame& frame,
+                                              sim::Time at);
 
   sim::EventLoop& loop_;
   FaultSpec spec_;
@@ -107,6 +116,7 @@ class FaultInjector {
   obs::Labels labels_;
   bool active_[kNumFaultKinds] = {};
   std::unique_ptr<GilbertElliott> ge_;
+  wifi::FrameErrorModel inner_error_model_;
   std::vector<std::unique_ptr<ChurnState>> churns_;
   FaultCounters counters_;
 };

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "sim/time.h"
 
@@ -89,6 +90,21 @@ struct Packet {
   RtcFeedbackInfo rtc_feedback;
   MacInfo mac;
 };
+
+// Packet rides the hot path by value: inside wifi::Frame (which must fit a
+// sim::InlineTask delivery closure — see the guard next to wifi::Frame), as
+// a sim::FrameRing cell, and inside per-hop wire closures. This budget is
+// the current size; if a new header struct pushes past it, prefer a
+// side-table keyed by Packet::id over growing every queued copy, or grow
+// the budget and the wifi::Frame/InlineTask budgets together, deliberately.
+static_assert(sizeof(Packet) <= 168,
+              "net::Packet grew: every frame queue cell and every in-flight "
+              "event closure pays this size — see the budget note above "
+              "before raising it.");
+static_assert(std::is_trivially_copyable_v<Packet>,
+              "net::Packet must stay trivially copyable (POD header fields "
+              "only): frame queues and event closures move it with "
+              "memcpy-grade copies.");
 
 /// Monotonic packet id source (per-simulation, passed around explicitly).
 class PacketIdAllocator {

@@ -5,14 +5,16 @@
 namespace kwikr::net {
 
 WiredLink::WiredLink(sim::EventLoop& loop, Config config, Receiver receiver)
-    : loop_(loop), config_(config), receiver_(std::move(receiver)) {}
+    : loop_(loop),
+      config_(config),
+      receiver_(receiver),
+      queue_(config.queue_capacity_packets) {}
 
 void WiredLink::Send(Packet packet) {
-  if (queue_.size() >= config_.queue_capacity_packets) {
+  if (!queue_.push_back(std::move(packet))) {
     ++dropped_;
     return;
   }
-  queue_.push_back(std::move(packet));
   if (!transmitting_) StartTransmission();
 }
 
@@ -28,14 +30,13 @@ void WiredLink::StartTransmission() {
   const sim::Duration tx = sim::TransmissionTime(
       static_cast<std::int64_t>(head.size_bytes) * 8, config_.rate_bps);
   loop_.ScheduleIn(tx, "net.wire_tx", [this] {
-    Packet packet = std::move(queue_.front());
-    queue_.pop_front();
     // Fault injection: the wire may lose the packet or hold it beyond the
     // nominal propagation delay (jitter → later packets overtake).
     sim::Duration propagation = config_.propagation;
     if (fault_hook_) {
-      const LinkFault fault = fault_hook_(packet);
+      const LinkFault fault = fault_hook_(queue_.front());
       if (fault.drop) {
+        queue_.pop_front();
         ++faulted_;
         StartTransmission();
         return;
@@ -44,12 +45,14 @@ void WiredLink::StartTransmission() {
     }
     ++delivered_;
     // Propagation happens in parallel with the next serialization. The
-    // Packet rides in the closure by value; it must stay within
-    // InlineTask's buffer so per-hop delivery never allocates.
-    auto deliver = [this, packet = std::move(packet)]() mutable {
+    // Packet moves straight from the ring head into the closure (one copy,
+    // not two); it must stay within InlineTask's buffer so per-hop
+    // delivery never allocates.
+    auto deliver = [this, packet = std::move(queue_.front())]() mutable {
       receiver_(std::move(packet));
     };
     static_assert(sim::InlineTask::fits_inline<decltype(deliver)>);
+    queue_.pop_front();
     loop_.ScheduleIn(propagation, "net.wire_prop", std::move(deliver));
     StartTransmission();
   });

@@ -1,11 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "net/packet.h"
 #include "sim/event_loop.h"
+#include "sim/frame_ring.h"
+#include "sim/function_ref.h"
 #include "sim/time.h"
 
 namespace kwikr::net {
@@ -15,7 +16,10 @@ namespace kwikr::net {
 /// remote peer / server and the Wi-Fi AP. Use two instances for full duplex.
 class WiredLink {
  public:
-  using Receiver = std::function<void(Packet)>;
+  /// Per-packet delivery callback. Non-owning (kwikr::FunctionRef): bind a
+  /// member function or a named long-lived callable — see wifi::Channel's
+  /// hook lifetime note.
+  using Receiver = kwikr::FunctionRef<void(Packet&&)>;
 
   struct Config {
     std::int64_t rate_bps = 100'000'000;       ///< 100 Mbps default.
@@ -53,7 +57,7 @@ class WiredLink {
   Config config_;
   Receiver receiver_;
   FaultHook fault_hook_;
-  std::deque<Packet> queue_;
+  sim::FrameRing<Packet> queue_;
   bool transmitting_ = false;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

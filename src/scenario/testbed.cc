@@ -37,13 +37,11 @@ Bss::Bss(sim::EventLoop& loop, wifi::Channel& channel,
   link.rate_bps = config.wan_rate_bps;
   link.propagation = config.wan_delay;
   downlink_ = std::make_unique<net::WiredLink>(
-      loop, link, [this](net::Packet packet) {
-        ap_->DeliverFromWan(std::move(packet));
-      });
+      loop, link,
+      net::WiredLink::Receiver::Member<&Bss::DeliverDownlink>(this));
   uplink_ = std::make_unique<net::WiredLink>(
-      loop, link, [this](net::Packet packet) {
-        DeliverUplink(std::move(packet));
-      });
+      loop, link,
+      net::WiredLink::Receiver::Member<&Bss::DeliverUplink>(this));
   ap_->SetWanForwarder(
       [this](net::Packet packet) { uplink_->Send(std::move(packet)); });
 }
@@ -80,7 +78,11 @@ transport::TokenBucket& Bss::InstallThrottle(
   return *throttle_;
 }
 
-void Bss::DeliverUplink(net::Packet packet) {
+void Bss::DeliverDownlink(net::Packet&& packet) {
+  ap_->DeliverFromWan(std::move(packet));
+}
+
+void Bss::DeliverUplink(net::Packet&& packet) {
   const auto it = endpoints_.find(packet.dst);
   if (it == endpoints_.end()) return;
   it->second(std::move(packet), loop_.now());
@@ -172,35 +174,38 @@ std::int64_t Testbed::CrossTrafficBytesReceived() const {
 
 void Testbed::InstallDistanceErrorModel() {
   channel_->SetFrameErrorModel(
-      [this](wifi::OwnerId tx, wifi::OwnerId rx,
-             const wifi::Frame& frame) -> double {
-        for (const auto& bss : bss_) {
-          for (const auto& station : bss->stations()) {
-            if (station->owner() == rx || station->owner() == tx) {
-              if (station->distance_m() <= 0.0) return 0.0;
-              return wifi::ErrorProbForRate(station->band(),
-                                            station->distance_m(),
-                                            frame.phy_rate_bps);
-            }
-          }
-        }
-        return 0.0;
-      });
+      wifi::FrameErrorModel::Member<&Testbed::DistanceErrorProb>(this));
+}
+
+double Testbed::DistanceErrorProb(wifi::OwnerId tx, wifi::OwnerId rx,
+                                  const wifi::Frame& frame) const {
+  for (const auto& bss : bss_) {
+    for (const auto& station : bss->stations()) {
+      if (station->owner() == rx || station->owner() == tx) {
+        if (station->distance_m() <= 0.0) return 0.0;
+        return wifi::ErrorProbForRate(station->band(), station->distance_m(),
+                                      frame.phy_rate_bps);
+      }
+    }
+  }
+  return 0.0;
 }
 
 void Testbed::InstallStationErrorModel() {
   channel_->SetFrameErrorModel(
-      [this](wifi::OwnerId tx, wifi::OwnerId rx,
-             const wifi::Frame& /*frame*/) -> double {
-        for (const auto& bss : bss_) {
-          for (const auto& station : bss->stations()) {
-            if (station->owner() == rx || station->owner() == tx) {
-              return station->frame_error_prob();
-            }
-          }
-        }
-        return 0.0;
-      });
+      wifi::FrameErrorModel::Member<&Testbed::StationErrorProb>(this));
+}
+
+double Testbed::StationErrorProb(wifi::OwnerId tx, wifi::OwnerId rx,
+                                 const wifi::Frame& /*frame*/) const {
+  for (const auto& bss : bss_) {
+    for (const auto& station : bss->stations()) {
+      if (station->owner() == rx || station->owner() == tx) {
+        return station->frame_error_prob();
+      }
+    }
+  }
+  return 0.0;
 }
 
 }  // namespace kwikr::scenario

@@ -90,7 +90,8 @@ class Bss {
   [[nodiscard]] wifi::Station& station(std::size_t i) { return *stations_[i]; }
 
  private:
-  void DeliverUplink(net::Packet packet);
+  void DeliverDownlink(net::Packet&& packet);
+  void DeliverUplink(net::Packet&& packet);
 
   sim::EventLoop& loop_;
   wifi::Channel& channel_;
@@ -170,6 +171,11 @@ class Testbed {
   void InstallDistanceErrorModel();
 
  private:
+  double StationErrorProb(wifi::OwnerId tx, wifi::OwnerId rx,
+                          const wifi::Frame& frame) const;
+  double DistanceErrorProb(wifi::OwnerId tx, wifi::OwnerId rx,
+                           const wifi::Frame& frame) const;
+
   sim::EventLoop loop_;
   sim::Rng rng_;
   net::PacketIdAllocator ids_;

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace kwikr {
+
+/// A lightweight non-owning callable reference: two words (a context pointer
+/// and a thunk), invocation is one null check plus one indirect call, and
+/// neither construction nor invocation ever allocates. This is the hook type
+/// for the per-frame fast path (wifi::Channel, net::WiredLink), where a
+/// std::function would cost a heap allocation on Set and a double indirection
+/// plus vtable-ish dispatch on every frame.
+///
+/// Ownership contract — the whole point of the type:
+///  * Plain functions and captureless lambdas are stored as function
+///    pointers. They carry no state, so binding from a temporary is safe and
+///    allowed (`SetDropHandler([](const Frame&) { ... })` keeps working).
+///  * Stateful callables (capturing lambdas, std::function members,
+///    functors) are referenced, not copied. They must be bound from an
+///    lvalue that outlives the ref; binding from a temporary is a compile
+///    error with a message saying to name the callable first.
+///  * `Member<&T::Method>(obj)` statically binds a member function: the
+///    thunk dispatches directly to the method, with no intermediate lambda
+///    object whose lifetime could be mismanaged. Prefer this form for
+///    long-lived hooks (AccessPoint/Station delivery, fault injector hooks).
+///
+/// FunctionRef is trivially copyable; copying copies the reference, never
+/// the callee. `ref = nullptr` clears it; `if (ref)` is the null fast path.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() noexcept = default;
+  constexpr FunctionRef(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  /// Plain function pointer (also reached by captureless lambdas through
+  /// their implicit conversion): stateless, so temporaries are fine.
+  FunctionRef(R (*fn)(Args...)) noexcept {  // NOLINT(runtime/explicit)
+    if (fn == nullptr) return;
+    context_.fn = fn;
+    thunk_ = [](Context ctx, Args... args) -> R {
+      return ctx.fn(std::forward<Args>(args)...);
+    };
+  }
+
+  /// Generic callable. Captureless lambdas and function names decay to a
+  /// stateless function pointer (temporaries fine). Stateful callables are
+  /// referenced, lvalues only — the static_assert below turns the classic
+  /// dangling-temporary bug into a compile error instead of a
+  /// use-after-free on the next frame.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, std::remove_reference_t<F>&, Args...>)
+  FunctionRef(F&& f) noexcept {  // NOLINT(runtime/explicit)
+    if constexpr (std::is_convertible_v<std::remove_reference_t<F>,
+                                        R (*)(Args...)>) {
+      R (*fn)(Args...) = f;
+      if (fn == nullptr) return;
+      context_.fn = fn;
+      thunk_ = [](Context ctx, Args... args) -> R {
+        return ctx.fn(std::forward<Args>(args)...);
+      };
+    } else {
+      static_assert(
+          std::is_lvalue_reference_v<F>,
+          "kwikr::FunctionRef does not own its callable: a stateful callable "
+          "(capturing lambda, std::function, functor) must be bound from an "
+          "lvalue that outlives the ref. Name it first (local, member, or "
+          "owned hook struct), or bind a method with "
+          "FunctionRef::Member<&T::Method>(obj).");
+      context_.obj =
+          const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      thunk_ = [](Context ctx, Args... args) -> R {
+        return std::invoke(*static_cast<std::remove_reference_t<F>*>(ctx.obj),
+                           std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  /// Static member-function dispatch: the method is baked into the thunk at
+  /// compile time, so the only runtime state is the object pointer.
+  template <auto Method, typename T>
+  [[nodiscard]] static FunctionRef Member(T* obj) noexcept {
+    static_assert(std::is_invocable_r_v<R, decltype(Method), T*, Args...>,
+                  "Member<&T::Method>: the method is not callable with this "
+                  "FunctionRef's signature.");
+    FunctionRef ref;
+    ref.context_.obj = const_cast<std::remove_const_t<T>*>(obj);
+    ref.thunk_ = [](Context ctx, Args... args) -> R {
+      return std::invoke(Method, static_cast<T*>(ctx.obj),
+                         std::forward<Args>(args)...);
+    };
+    return ref;
+  }
+
+  FunctionRef& operator=(std::nullptr_t) noexcept {
+    thunk_ = nullptr;
+    context_ = Context{};
+    return *this;
+  }
+
+  R operator()(Args... args) const {
+    return thunk_(context_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return thunk_ != nullptr;
+  }
+
+  friend bool operator==(const FunctionRef& ref, std::nullptr_t) noexcept {
+    return ref.thunk_ == nullptr;
+  }
+
+ private:
+  // Function pointers may not round-trip through void* portably, so the
+  // context is a union of the two storage shapes.
+  union Context {
+    void* obj;
+    R (*fn)(Args...);
+    constexpr Context() noexcept : obj(nullptr) {}
+  };
+  using Thunk = R (*)(Context, Args...);
+
+  Context context_{};
+  Thunk thunk_ = nullptr;
+};
+
+}  // namespace kwikr

@@ -41,7 +41,19 @@ constexpr double ToMicros(Duration d) {
 constexpr Duration TransmissionTime(std::int64_t bits,
                                     std::int64_t bits_per_second) {
   if (bits_per_second <= 0) return 0;
-  // ticks = bits * kSecond / rate, rounded up.
+  // ticks = bits * kSecond / rate, rounded up. Every real frame/rate fits
+  // the 64-bit fast path (bits * 1e9 + rate - 1 <= INT64_MAX up to 9 Gbit
+  // frames and 200 Gbit/s links); one hardware divide there replaces the
+  // libgcc __int128 division, which costs ~4x more on the per-frame
+  // airtime path. Both branches compute floor((bits*kSecond + rate-1) /
+  // rate) exactly, so the result is bit-identical either way.
+  if (static_cast<std::uint64_t>(bits) <= 9'000'000'000ull &&
+      static_cast<std::uint64_t>(bits_per_second) <= 200'000'000'000ull) {
+    const auto rate = static_cast<std::uint64_t>(bits_per_second);
+    const std::uint64_t num =
+        static_cast<std::uint64_t>(bits) * static_cast<std::uint64_t>(kSecond);
+    return static_cast<Duration>((num + rate - 1) / rate);
+  }
   const auto num = static_cast<__int128>(bits) * kSecond;
   return static_cast<Duration>((num + bits_per_second - 1) / bits_per_second);
 }

@@ -21,9 +21,26 @@ double InterpolateSorted(const std::vector<double>& sorted, double p) {
 
 double Percentile(std::span<const double> samples, double p) {
   if (samples.empty()) return 0.0;  // documented empty-input contract.
-  std::vector<double> sorted(samples.begin(), samples.end());
-  std::sort(sorted.begin(), sorted.end());
-  return InterpolateSorted(sorted, p);
+  std::vector<double> scratch(samples.begin(), samples.end());
+  const std::size_t n = scratch.size();
+  if (n == 1) return scratch.front();
+  // O(n) selection instead of a full O(n log n) sort: nth_element places the
+  // exact order statistic sorted[lo] at index lo, and the interpolation
+  // partner sorted[lo + 1] is the minimum of the upper partition. The
+  // arithmetic below is the same as InterpolateSorted's, so results are
+  // bit-identical to the sorted reference (golden outputs depend on this;
+  // see PercentileMatchesSortedReference in stats_test).
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  const auto lo_it = scratch.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(scratch.begin(), lo_it, scratch.end());
+  const double lo_val = *lo_it;
+  if (hi == lo) return lo_val;
+  const double hi_val = *std::min_element(lo_it + 1, scratch.end());
+  return lo_val + frac * (hi_val - lo_val);
 }
 
 std::vector<double> Percentiles(std::span<const double> samples,

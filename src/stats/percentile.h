@@ -8,7 +8,9 @@
 namespace kwikr::stats {
 
 /// Returns the p-th percentile (p in [0, 100]) of `samples` using linear
-/// interpolation between closest ranks.
+/// interpolation between closest ranks. Implemented as an O(n)
+/// std::nth_element selection (not a full sort); the result is bit-identical
+/// to interpolating over the sorted samples.
 ///
 /// Empty-input contract: an empty `samples` returns exactly 0.0 (not NaN,
 /// not UB) — callers summarising possibly-empty buckets (wild-population

@@ -184,7 +184,13 @@ void TcpRenoReceiver::OnSegment(const net::Packet& segment, sim::Time arrival) {
     return;
   }
   const std::int64_t seq = segment.tcp.seq;
-  if (seq >= cumulative_) {
+  if (seq == cumulative_ && out_of_order_.empty()) {
+    // In-order fast path (the overwhelmingly common case): advancing the
+    // cumulative ACK directly skips a tree-node insert + immediate erase —
+    // i.e. a heap allocation — per segment.
+    ++cumulative_;
+    bytes_ += segment.size_bytes - 40;  // approximate payload.
+  } else if (seq >= cumulative_) {
     out_of_order_.insert(seq);
     while (!out_of_order_.empty() && *out_of_order_.begin() == cumulative_) {
       out_of_order_.erase(out_of_order_.begin());

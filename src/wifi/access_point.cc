@@ -9,7 +9,7 @@ namespace kwikr::wifi {
 AccessPoint::AccessPoint(Channel& channel, Config config)
     : channel_(channel), config_(config) {
   owner_ = channel_.RegisterOwner(
-      [this](Frame frame) { OnUplinkFrame(std::move(frame)); });
+      Channel::DeliveryHandler::Member<&AccessPoint::OnUplinkFrame>(this));
   const auto params = DefaultEdcaParams();
   for (int ac = 0; ac < kNumAccessCategories; ++ac) {
     downlink_[ac] = channel_.CreateContender(
@@ -46,12 +46,15 @@ void AccessPoint::EnableRateAdaptation(ArfPolicy::Config config) {
   arf_config_ = config;
   for (int ac = 0; ac < kNumAccessCategories; ++ac) {
     channel_.SetTxFeedback(
-        downlink_[ac], [this](const Frame& frame, bool delivered,
-                              int attempts) {
-          const auto it = arf_.find(frame.packet.dst);
-          if (it != arf_.end()) it->second->OnOutcome(delivered, attempts);
-        });
+        downlink_[ac],
+        Channel::TxFeedback::Member<&AccessPoint::OnDownlinkTxOutcome>(this));
   }
+}
+
+void AccessPoint::OnDownlinkTxOutcome(const Frame& frame, bool delivered,
+                                      int attempts) {
+  const auto it = arf_.find(frame.packet.dst);
+  if (it != arf_.end()) it->second->OnOutcome(delivered, attempts);
 }
 
 const ArfPolicy* AccessPoint::ArfFor(net::Address station) const {
@@ -91,7 +94,7 @@ std::uint64_t AccessPoint::DownlinkDelivered(AccessCategory ac) const {
   return channel_.Delivered(downlink_[Index(ac)]);
 }
 
-void AccessPoint::OnUplinkFrame(Frame frame) {
+void AccessPoint::OnUplinkFrame(Frame&& frame) {
   net::Packet& packet = frame.packet;
   if (packet.dst == config_.address) {
     // Addressed to the AP itself: answer echo requests (the Ping-Pair and
@@ -122,7 +125,7 @@ void AccessPoint::OnUplinkFrame(Frame frame) {
   }
 }
 
-void AccessPoint::EnqueueDownlink(net::Packet packet) {
+void AccessPoint::EnqueueDownlink(net::Packet&& packet) {
   const auto it = stations_.find(packet.dst);
   if (it == stations_.end()) {
     ++unroutable_drops_;
@@ -132,8 +135,7 @@ void AccessPoint::EnqueueDownlink(net::Packet packet) {
   AccessCategory ac = config_.wmm_enabled ? TosToAccessCategory(packet.tos)
                                           : AccessCategory::kBestEffort;
   if (downlink_classifier_) ac = downlink_classifier_(packet, ac);
-  Frame frame;
-  frame.dest = station->owner();
+  std::int64_t rate_bps;
   if (arf_enabled_) {
     auto& policy = arf_[packet.dst];
     if (policy == nullptr) {
@@ -141,12 +143,14 @@ void AccessPoint::EnqueueDownlink(net::Packet packet) {
       policy = std::make_unique<ArfPolicy>(rates, rates.size() / 2,
                                            arf_config_);
     }
-    frame.phy_rate_bps = policy->rate_bps();
+    rate_bps = policy->rate_bps();
   } else {
-    frame.phy_rate_bps = station->rate_bps();
+    rate_bps = station->rate_bps();
   }
-  frame.packet = std::move(packet);
-  channel_.Enqueue(downlink_[Index(ac)], std::move(frame));
+  // Prvalue Frame: elided into Enqueue's parameter and moved straight into
+  // the ring cell — one Frame copy end to end, not three.
+  channel_.Enqueue(downlink_[Index(ac)],
+                   Frame{std::move(packet), station->owner(), rate_bps});
 }
 
 }  // namespace kwikr::wifi

@@ -100,8 +100,9 @@ class AccessPoint {
   [[nodiscard]] Channel& channel() { return channel_; }
 
  private:
-  void OnUplinkFrame(Frame frame);
-  void EnqueueDownlink(net::Packet packet);
+  void OnUplinkFrame(Frame&& frame);
+  void OnDownlinkTxOutcome(const Frame& frame, bool delivered, int attempts);
+  void EnqueueDownlink(net::Packet&& packet);
 
   Channel& channel_;
   Config config_;

@@ -11,7 +11,7 @@ Channel::Channel(sim::EventLoop& loop, sim::Rng rng, PhyParams phy)
     : loop_(loop), rng_(rng), phy_(phy) {}
 
 OwnerId Channel::RegisterOwner(DeliveryHandler on_delivery) {
-  owners_.push_back(Owner{std::move(on_delivery), 0});
+  owners_.push_back(Owner{on_delivery, 0});
   return static_cast<OwnerId>(owners_.size() - 1);
 }
 
@@ -23,23 +23,47 @@ ContenderId Channel::CreateContender(OwnerId owner, AccessCategory ac,
   c.owner = owner;
   c.ac = ac;
   c.params = params;
-  c.capacity = queue_capacity;
+  c.aifs = phy_.Aifs(params);
+  c.queue = sim::FrameRing<Frame>(queue_capacity);
   c.cw = params.cw_min;
   contenders_.push_back(std::move(c));
+  // Each contender appears at most once per arbitration round in these, so
+  // contenders_.size() is a hard bound. Reserving here (setup time) keeps a
+  // rare many-way tie late in a run from being the first to reach the
+  // high-water mark — the steady state must never allocate (the invariant
+  // bench/micro_channel enforces with its operator-new counter).
+  winners_scratch_.reserve(contenders_.size());
+  losers_scratch_.reserve(contenders_.size());
+  in_flight_.reserve(contenders_.size());
   return static_cast<ContenderId>(contenders_.size() - 1);
+}
+
+void Channel::JoinBacklog(ContenderId id, Contender& c) {
+  ++c.backlog_stamp;
+  c.in_backlog = true;
+  ++backlog_live_;
+  backlogged_.push_back(BacklogEntry{id, c.backlog_stamp});
+}
+
+void Channel::LeaveBacklog(Contender& c) {
+  // O(1): the vector entry goes stale and is compacted out by the next
+  // backlog sweep (this replaced an O(n) erase per emptied queue).
+  assert(c.in_backlog);
+  c.in_backlog = false;
+  --backlog_live_;
+  c.counting = false;
 }
 
 bool Channel::Enqueue(ContenderId id, Frame frame) {
   assert(id < contenders_.size());
   Contender& c = contenders_[id];
-  if (c.queue.size() >= c.capacity) {
+  if (!c.queue.push_back(std::move(frame))) {
     ++c.queue_drops;
     return false;
   }
-  c.queue.push_back(std::move(frame));
   if (c.queue.size() == 1) {
     // Newly backlogged: join contention.
-    backlogged_.push_back(id);
+    JoinBacklog(id, c);
     c.backoff_slots = -1;
     c.cw = c.params.cw_min;
     c.attempts = 0;
@@ -55,20 +79,18 @@ bool Channel::Enqueue(ContenderId id, Frame frame) {
 }
 
 void Channel::SetFrameErrorModel(FrameErrorModel model) {
-  error_model_ = std::move(model);
+  error_model_ = model;
 }
 
 void Channel::SetDeliveryFaultHook(DeliveryFaultHook hook) {
-  delivery_fault_hook_ = std::move(hook);
+  delivery_fault_hook_ = hook;
 }
 
-void Channel::SetDropHandler(DropHandler handler) {
-  drop_handler_ = std::move(handler);
-}
+void Channel::SetDropHandler(DropHandler handler) { drop_handler_ = handler; }
 
 void Channel::SetTxFeedback(ContenderId id, TxFeedback feedback) {
   assert(id < contenders_.size());
-  contenders_[id].tx_feedback = std::move(feedback);
+  contenders_[id].tx_feedback = feedback;
 }
 
 std::size_t Channel::QueueLength(ContenderId id) const {
@@ -105,37 +127,62 @@ void Channel::EnsureBackoffDrawn(Contender& c) {
 }
 
 sim::Time Channel::CandidateStart(const Contender& c) const {
-  return c.wait_ref + phy_.Aifs(c.params) +
+  return c.wait_ref + c.aifs +
          static_cast<sim::Duration>(c.backoff_slots) * phy_.slot;
 }
 
 void Channel::BeginIdlePeriod() {
   busy_ = false;
+  // One sweep restarts every backlogged contender's countdown AND finds the
+  // earliest candidate (the per-entry work and the rng draw order are
+  // exactly those of the old restart-sweep followed by
+  // ScheduleArbitration's sweep — fused to halve the idle-transition cost).
   const sim::Time now = loop_.now();
-  for (ContenderId id : backlogged_) {
-    Contender& c = contenders_[id];
+  sim::Time earliest = std::numeric_limits<sim::Time>::max();
+  ForEachBacklogged([this, now, &earliest](ContenderId, Contender& c) {
     c.wait_ref = now;
     c.counting = true;
-  }
-  ScheduleArbitration();
+    EnsureBackoffDrawn(c);
+    earliest = std::min(earliest, CandidateStart(c));
+  });
+  ArmArbitration(earliest);
 }
 
-void Channel::ScheduleArbitration() {
+void Channel::CancelArbitration() {
   if (arbitration_event_ != 0) {
     loop_.Cancel(arbitration_event_);
     arbitration_event_ = 0;
     scheduled_start_ = -1;
   }
-  if (backlogged_.empty() || busy_) return;
+}
+
+void Channel::ScheduleArbitration() {
+  if (backlog_live_ == 0 || busy_) {
+    CancelArbitration();
+    return;
+  }
 
   sim::Time earliest = std::numeric_limits<sim::Time>::max();
-  for (ContenderId id : backlogged_) {
-    Contender& c = contenders_[id];
-    if (!c.counting) continue;
+  ForEachBacklogged([this, &earliest](ContenderId, Contender& c) {
+    if (!c.counting) return;
     EnsureBackoffDrawn(c);
     earliest = std::min(earliest, CandidateStart(c));
+  });
+  ArmArbitration(earliest);
+}
+
+void Channel::ArmArbitration(sim::Time earliest) {
+  if (earliest == std::numeric_limits<sim::Time>::max()) {
+    CancelArbitration();
+    return;
   }
-  if (earliest == std::numeric_limits<sim::Time>::max()) return;
+  // A pending arbitration at the same tick is already correct: keep it
+  // instead of paying a Cancel + reschedule (the common case when a new
+  // contender joins with a later candidate time).
+  if (arbitration_event_ != 0) {
+    if (scheduled_start_ == earliest) return;
+    loop_.Cancel(arbitration_event_);
+  }
   scheduled_start_ = earliest;
   auto arbitrate = [this, earliest] {
     arbitration_event_ = 0;
@@ -148,13 +195,30 @@ void Channel::ScheduleArbitration() {
 }
 
 void Channel::StartTransmissions(sim::Time start) {
-  // Collect everyone whose candidate time is exactly `start`.
-  std::vector<ContenderId> winners;
-  for (ContenderId id : backlogged_) {
-    Contender& c = contenders_[id];
-    if (!c.counting) continue;
-    if (CandidateStart(c) == start) winners.push_back(id);
-  }
+  // One sweep does both halves of the arbitration outcome: contenders
+  // whose candidate time is exactly `start` win the medium; every other
+  // counting contender freezes its backoff with the idle slots consumed so
+  // far. (Winners and the frozen set are disjoint, so folding the old
+  // second sweep in here is behavior-preserving — and drops a std::find
+  // per non-winner.) The winner/loser sets live in member scratch vectors:
+  // after warm-up this function performs no allocation at all (see
+  // bench/micro_channel).
+  std::vector<ContenderId>& winners = winners_scratch_;
+  winners.clear();
+  ForEachBacklogged([this, start, &winners](ContenderId id, Contender& c) {
+    if (!c.counting) return;
+    if (CandidateStart(c) == start) {
+      winners.push_back(id);
+      return;
+    }
+    const sim::Time countdown_start = c.wait_ref + c.aifs;
+    if (start > countdown_start) {
+      const auto consumed =
+          static_cast<int>((start - countdown_start) / phy_.slot);
+      c.backoff_slots = std::max(0, c.backoff_slots - consumed);
+    }
+    c.counting = false;
+  });
   if (winners.empty()) {
     ScheduleArbitration();
     return;
@@ -162,8 +226,9 @@ void Channel::StartTransmissions(sim::Time start) {
 
   // Resolve internal (same-owner) virtual collisions: the highest access
   // category transmits; lower ones behave as if they collided.
-  std::vector<ContenderId> transmitters;
-  std::vector<ContenderId> virtual_losers;
+  in_flight_.clear();
+  std::vector<ContenderId>& virtual_losers = losers_scratch_;
+  virtual_losers.clear();
   for (ContenderId id : winners) {
     const Contender& c = contenders_[id];
     bool dominated = false;
@@ -178,30 +243,14 @@ void Channel::StartTransmissions(sim::Time start) {
     if (dominated) {
       virtual_losers.push_back(id);
     } else {
-      transmitters.push_back(id);
+      in_flight_.push_back(id);
     }
   }
   for (ContenderId id : virtual_losers) HandleFailure(contenders_[id]);
 
-  // Freeze everyone else's backoff with the idle slots consumed so far.
-  for (ContenderId id : backlogged_) {
-    Contender& c = contenders_[id];
-    if (!c.counting) continue;
-    if (std::find(winners.begin(), winners.end(), id) != winners.end()) {
-      continue;
-    }
-    const sim::Time countdown_start = c.wait_ref + phy_.Aifs(c.params);
-    if (start > countdown_start) {
-      const auto consumed =
-          static_cast<int>((start - countdown_start) / phy_.slot);
-      c.backoff_slots = std::max(0, c.backoff_slots - consumed);
-    }
-    c.counting = false;
-  }
-
   // Medium goes busy for the longest of the simultaneous transmissions.
   sim::Time end = start;
-  for (ContenderId id : transmitters) {
+  for (ContenderId id : in_flight_) {
     Contender& c = contenders_[id];
     assert(!c.queue.empty());
     const Frame& f = c.queue.front();
@@ -214,22 +263,22 @@ void Channel::StartTransmissions(sim::Time start) {
   busy_started_ = start;
   busy_until_ = end;
 
-  auto tx_done = [this, transmitters, start, end] {
-    FinishTransmissions(transmitters, start, end);
-  };
+  // The transmitter set rides in in_flight_ (the medium is busy until
+  // tx_done fires, so there is exactly one set in flight): the closure
+  // captures two words instead of a heap-backed vector copy.
+  auto tx_done = [this, end] { FinishTransmissions(end); };
   static_assert(sim::InlineTask::fits_inline<decltype(tx_done)>);
   loop_.ScheduleAt(end, "wifi.tx_done", std::move(tx_done));
 }
 
-void Channel::FinishTransmissions(const std::vector<ContenderId>& transmitters,
-                                  sim::Time /*start*/, sim::Time end) {
+void Channel::FinishTransmissions(sim::Time end) {
   busy_accum_ += end - busy_started_;
 
-  if (transmitters.size() > 1) {
+  if (in_flight_.size() > 1) {
     ++collisions_;
-    for (ContenderId id : transmitters) HandleFailure(contenders_[id]);
-  } else if (transmitters.size() == 1) {
-    const ContenderId id = transmitters.front();
+    for (ContenderId id : in_flight_) HandleFailure(contenders_[id]);
+  } else if (in_flight_.size() == 1) {
+    const ContenderId id = in_flight_.front();
     Contender& c = contenders_[id];
     assert(!c.queue.empty());
     const Frame& f = c.queue.front();
@@ -249,12 +298,11 @@ void Channel::FinishTransmissions(const std::vector<ContenderId>& transmitters,
           c.txop_used += airtime;
           ++txop_continuations_;
           busy_started_ = end;
-          // Burst frames are SIFS-separated inside the TXOP.
+          // Burst frames are SIFS-separated inside the TXOP. in_flight_
+          // already holds exactly {id}.
           busy_until_ = end + phy_.sifs + airtime;
-          std::vector<ContenderId> burst = {id};
-          auto finish_burst = [this, burst = std::move(burst), end,
-                               until = busy_until_] {
-            FinishTransmissions(burst, end, until);
+          auto finish_burst = [this, until = busy_until_] {
+            FinishTransmissions(until);
           };
           static_assert(sim::InlineTask::fits_inline<decltype(finish_burst)>);
           loop_.ScheduleAt(busy_until_, "wifi.txop_burst",
@@ -279,14 +327,7 @@ void Channel::HandleFailure(Contender& c) {
     c.attempts = 0;
     c.cw = c.params.cw_min;
     c.backoff_slots = -1;
-    if (c.queue.empty()) {
-      const auto self =
-          static_cast<ContenderId>(&c - contenders_.data());
-      backlogged_.erase(
-          std::remove(backlogged_.begin(), backlogged_.end(), self),
-          backlogged_.end());
-      c.counting = false;
-    }
+    if (c.queue.empty()) LeaveBacklog(c);
     if (drop_handler_) drop_handler_(dropped);
     return;
   }
@@ -297,8 +338,12 @@ void Channel::HandleFailure(Contender& c) {
 
 void Channel::HandleSuccess(ContenderId id, sim::Time end) {
   Contender& c = contenders_[id];
-  Frame frame = std::move(c.queue.front());
-  c.queue.pop_front();
+  // The frame is stamped IN the ring head and moved straight into the
+  // delivery closure below — one 184-byte copy per delivered frame, not
+  // two. Nothing between here and the pop re-enters this queue: delivery
+  // is scheduled (never called inline), and the tx-feedback / fault hooks
+  // only update rate state.
+  Frame& frame = c.queue.front();
   ++c.delivered;
 
   Owner& owner = owners_[c.owner];
@@ -315,11 +360,6 @@ void Channel::HandleSuccess(ContenderId id, sim::Time end) {
   c.attempts = 0;
   c.cw = c.params.cw_min;
   c.backoff_slots = -1;  // post-transmission backoff.
-  if (c.queue.empty()) {
-    backlogged_.erase(std::remove(backlogged_.begin(), backlogged_.end(), id),
-                      backlogged_.end());
-    c.counting = false;
-  }
 
   const OwnerId dest = frame.dest;
   assert(dest < owners_.size());
@@ -331,7 +371,11 @@ void Channel::HandleSuccess(ContenderId id, sim::Time end) {
     int copies = 1;
     if (delivery_fault_hook_) {
       const DeliveryFault fault = delivery_fault_hook_(frame, end);
-      if (fault.drop) return;
+      if (fault.drop) {
+        c.queue.pop_front();
+        if (c.queue.empty()) LeaveBacklog(c);
+        return;
+      }
       deliver_at = end + std::max<sim::Duration>(fault.delay, 0);
       copies = 1 + std::max(fault.duplicates, 0);
     }
@@ -351,8 +395,12 @@ void Channel::HandleSuccess(ContenderId id, sim::Time end) {
       owners_[dest].on_delivery(std::move(frame));
     };
     static_assert(sim::InlineTask::fits_inline<decltype(deliver)>);
+    c.queue.pop_front();
     loop_.ScheduleAt(deliver_at, "wifi.deliver", std::move(deliver));
+  } else {
+    c.queue.pop_front();
   }
+  if (c.queue.empty()) LeaveBacklog(c);
 }
 
 }  // namespace kwikr::wifi

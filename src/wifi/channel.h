@@ -1,14 +1,15 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
 #include "net/packet.h"
 #include "sim/event_loop.h"
+#include "sim/inline_task.h"
+#include "sim/frame_ring.h"
+#include "sim/function_ref.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "wifi/edca.h"
@@ -30,11 +31,33 @@ struct Frame {
   std::int64_t phy_rate_bps = 0;  ///< PHY data rate for this frame.
 };
 
+// Size guards for the two structs that ride the per-frame fast path. A Frame
+// travels (a) by value inside "wifi.deliver" closures, which must stay within
+// sim::InlineTask's inline buffer or every delivery allocates, and (b) as a
+// sim::FrameRing cell, where growth copies cost sizeof(Frame) each. Growing
+// net::Packet grows both. If this fires, either shrink the new field, move
+// the payload behind an out-of-band side table, or consciously raise
+// InlineTask::kInlineCapacity (and re-run bench/micro_channel to see what the
+// extra bytes cost per frame hop).
+static_assert(sizeof(Frame) + 3 * sizeof(void*) <=
+                  sim::InlineTask::kInlineCapacity,
+              "wifi::Frame grew past the budget for a [this, dest, frame] "
+              "delivery closure in sim::InlineTask's inline storage — frame "
+              "delivery would silently start heap-allocating.");
+static_assert(std::is_trivially_copyable_v<Frame>,
+              "wifi::Frame must stay trivially copyable: FrameRing growth "
+              "and InlineTask dispatch both assume memcpy-grade moves.");
+
 /// Pluggable per-attempt frame-error model (wireless noise, not collisions).
 /// Returns the probability in [0,1] that a single transmission attempt from
 /// `tx` to `rx` is corrupted. Used by the mobility scenario of Figure 4.
+///
+/// Like every Channel hook this is a non-owning kwikr::FunctionRef: the
+/// callable behind it must outlive the channel's use of it (bind a member
+/// function with FunctionRef::Member, or keep the lambda in a named owner —
+/// see scenario::Testbed and faults::FaultInjector for the two idioms).
 using FrameErrorModel =
-    std::function<double(OwnerId tx, OwnerId rx, const Frame& frame)>;
+    FunctionRef<double(OwnerId tx, OwnerId rx, const Frame& frame)>;
 
 /// Shared 802.11 medium implementing EDCA contention.
 ///
@@ -54,13 +77,22 @@ using FrameErrorModel =
 ///  * Failed attempts (collision or frame error) double the contention
 ///    window, set the 802.11 retry bit, and drop the frame after
 ///    `retry_limit` attempts.
+///
+/// Fast path: hooks are devirtualized FunctionRefs (one null check + one
+/// indirect call, no allocation), per-contender queues are sim::FrameRing
+/// (index arithmetic, no deque segment churn), AIFS is cached per contender,
+/// and the backlog uses generation-stamped lazy removal so leaving contention
+/// is O(1) instead of an O(n) erase. See DESIGN.md §11.
 class Channel {
  public:
   /// Delivery callback: frame arrived intact at its destination. MacInfo in
   /// `frame.packet.mac` is filled in (sequence number, retry, rate, AC).
-  using DeliveryHandler = std::function<void(Frame frame)>;
+  /// The frame is handed over by rvalue reference so the 184-byte Frame is
+  /// not re-copied at every hand-off layer (hook thunk, member function) —
+  /// a receiver that wants a copy takes the parameter by value.
+  using DeliveryHandler = FunctionRef<void(Frame&& frame)>;
   /// A frame was abandoned after retry_limit failed attempts.
-  using DropHandler = std::function<void(const Frame& frame)>;
+  using DropHandler = FunctionRef<void(const Frame& frame)>;
 
   Channel(sim::EventLoop& loop, sim::Rng rng, PhyParams phy = PhyParams{});
 
@@ -68,6 +100,7 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   /// Registers a MAC entity and its delivery handler; returns its OwnerId.
+  /// The handler is non-owning — see FrameErrorModel's lifetime note.
   OwnerId RegisterOwner(DeliveryHandler on_delivery);
 
   /// Creates a transmit queue for (owner, ac) with the given EDCA parameters
@@ -94,7 +127,7 @@ class Channel {
     sim::Duration delay = 0;
   };
   using DeliveryFaultHook =
-      std::function<DeliveryFault(const Frame& frame, sim::Time at)>;
+      FunctionRef<DeliveryFault(const Frame& frame, sim::Time at)>;
   /// Installs the delivery fault hook (default: none). The hook sees every
   /// frame that survived MAC contention, across all owners of this channel.
   void SetDeliveryFaultHook(DeliveryFaultHook hook);
@@ -106,7 +139,7 @@ class Channel {
   /// link-layer attempts used. This is what rate-adaptation algorithms
   /// (wifi::ArfPolicy) consume.
   using TxFeedback =
-      std::function<void(const Frame& frame, bool delivered, int attempts)>;
+      FunctionRef<void(const Frame& frame, bool delivered, int attempts)>;
   void SetTxFeedback(ContenderId id, TxFeedback feedback);
 
   /// Queue length of a contender (frames waiting, excluding in-flight).
@@ -135,13 +168,15 @@ class Channel {
     OwnerId owner = 0;
     AccessCategory ac = AccessCategory::kBestEffort;
     EdcaParams params;
-    std::size_t capacity = 0;
-    std::deque<Frame> queue;
+    sim::Duration aifs = 0;  ///< cached phy_.Aifs(params); params are fixed.
+    sim::FrameRing<Frame> queue;
     int backoff_slots = -1;  ///< -1 = needs a fresh draw.
     int cw = 0;              ///< current contention window.
     int attempts = 0;        ///< attempts for the head frame.
     sim::Time wait_ref = 0;  ///< when AIFS+backoff counting (re)started.
     bool counting = false;   ///< wait_ref valid for the current idle period.
+    bool in_backlog = false;       ///< live member of backlogged_?
+    std::uint32_t backlog_stamp = 0;  ///< generation of the live entry.
     sim::Duration txop_used = 0;  ///< airtime consumed in the current TXOP.
     std::uint64_t delivered = 0;
     std::uint64_t queue_drops = 0;
@@ -154,16 +189,49 @@ class Channel {
     std::uint16_t next_sequence = 0;
   };
 
+  /// Backlog entry: a contender plus the generation it joined with. An entry
+  /// is live iff the contender's (in_backlog, backlog_stamp) still match —
+  /// leaving contention just flips the bool (O(1)); dead entries are skipped
+  /// and compacted in place during the sweeps that walk the backlog anyway.
+  /// The stamp disambiguates "left and rejoined before the next sweep":
+  /// the stale earlier entry must not alias the fresh one, or the contender
+  /// would be visited twice (and the rng draw order would shift).
+  struct BacklogEntry {
+    ContenderId id;
+    std::uint32_t stamp;
+  };
+
   [[nodiscard]] bool MediumIdle() const;
   [[nodiscard]] sim::Time CandidateStart(const Contender& c) const;
   void EnsureBackoffDrawn(Contender& c);
+  void JoinBacklog(ContenderId id, Contender& c);
+  void LeaveBacklog(Contender& c);
   void BeginIdlePeriod();
   void ScheduleArbitration();
+  /// Arms (or re-arms) the arbitration event for candidate time `earliest`
+  /// (max() means "no candidate": any pending arbitration is cancelled).
+  void ArmArbitration(sim::Time earliest);
+  /// Cancels the pending arbitration event, if any.
+  void CancelArbitration();
   void StartTransmissions(sim::Time start);
-  void FinishTransmissions(const std::vector<ContenderId>& transmitters,
-                           sim::Time start, sim::Time end);
+  void FinishTransmissions(sim::Time end);
   void HandleFailure(Contender& c);
   void HandleSuccess(ContenderId id, sim::Time end);
+
+  /// Walks the live backlog entries in insertion order, compacting dead ones
+  /// out as it goes. `fn(id, contender)` must not append to backlogged_.
+  template <typename Fn>
+  void ForEachBacklogged(Fn&& fn) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < backlogged_.size(); ++i) {
+      const BacklogEntry entry = backlogged_[i];
+      Contender& c = contenders_[entry.id];
+      if (!c.in_backlog || c.backlog_stamp != entry.stamp) continue;
+      backlogged_[out++] = entry;
+      fn(entry.id, c);
+    }
+    backlogged_.resize(out);
+  }
 
   sim::EventLoop& loop_;
   sim::Rng rng_;
@@ -174,12 +242,23 @@ class Channel {
 
   std::vector<Owner> owners_;
   std::vector<Contender> contenders_;
-  std::vector<ContenderId> backlogged_;
+  std::vector<BacklogEntry> backlogged_;
+  std::size_t backlog_live_ = 0;  ///< live entries in backlogged_.
 
   bool busy_ = false;
   sim::Time busy_until_ = 0;
   sim::EventId arbitration_event_ = 0;
   sim::Time scheduled_start_ = -1;
+
+  /// The single transmission set currently on the air (the medium is a
+  /// mutex: once busy_, no further arbitration fires until tx_done). Kept as
+  /// a member so the tx_done closure captures nothing but `this` and the
+  /// end time — the per-transmission vector allocations this replaces were
+  /// a top line in the fig10 profile.
+  std::vector<ContenderId> in_flight_;
+  // Scratch for StartTransmissions (not re-entrant; event-driven only).
+  std::vector<ContenderId> winners_scratch_;
+  std::vector<ContenderId> losers_scratch_;
 
   sim::Duration busy_accum_ = 0;
   sim::Time busy_started_ = 0;

@@ -9,7 +9,7 @@ namespace kwikr::wifi {
 Station::Station(Channel& channel, AccessPoint& ap, Config config)
     : channel_(channel), ap_(&ap), config_(config) {
   owner_ = channel_.RegisterOwner(
-      [this](Frame frame) { OnDownlinkFrame(std::move(frame)); });
+      Channel::DeliveryHandler::Member<&Station::OnDownlinkFrame>(this));
   const auto params = DefaultEdcaParams();
   for (int ac = 0; ac < kNumAccessCategories; ++ac) {
     uplink_[ac] = channel_.CreateContender(
@@ -20,11 +20,10 @@ Station::Station(Channel& channel, AccessPoint& ap, Config config)
 
 void Station::Send(net::Packet packet) {
   const AccessCategory ac = TosToAccessCategory(packet.tos);
-  Frame frame;
-  frame.dest = ap_->owner();
-  frame.phy_rate_bps = config_.rate_bps;
-  frame.packet = std::move(packet);
-  channel_.Enqueue(uplink_[Index(ac)], std::move(frame));
+  // Prvalue Frame: elided straight into Enqueue's parameter, which moves
+  // straight into the ring cell — one Frame copy end to end, not three.
+  channel_.Enqueue(uplink_[Index(ac)],
+                   Frame{std::move(packet), ap_->owner(), config_.rate_bps});
 }
 
 void Station::AddReceiver(Receiver receiver) {
@@ -43,11 +42,15 @@ void Station::EnableRateAdaptation(Band band, ArfPolicy::Config config) {
   config_.rate_bps = arf_->rate_bps();
   for (int ac = 0; ac < kNumAccessCategories; ++ac) {
     channel_.SetTxFeedback(
-        uplink_[ac], [this](const Frame&, bool delivered, int attempts) {
-          arf_->OnOutcome(delivered, attempts);
-          config_.rate_bps = arf_->rate_bps();
-        });
+        uplink_[ac],
+        Channel::TxFeedback::Member<&Station::OnUplinkTxOutcome>(this));
   }
+}
+
+void Station::OnUplinkTxOutcome(const Frame& /*frame*/, bool delivered,
+                                int attempts) {
+  arf_->OnOutcome(delivered, attempts);
+  config_.rate_bps = arf_->rate_bps();
 }
 
 void Station::Roam(AccessPoint& new_ap, LinkQuality quality) {
@@ -75,7 +78,7 @@ std::uint64_t Station::uplink_queue_drops() const {
   return total;
 }
 
-void Station::OnDownlinkFrame(Frame frame) {
+void Station::OnDownlinkFrame(Frame&& frame) {
   const sim::Time arrival = channel_.loop().now();
   for (const auto& receiver : receivers_) {
     receiver(frame.packet, arrival);

@@ -82,7 +82,8 @@ class Station {
   [[nodiscard]] std::uint64_t uplink_queue_drops() const;
 
  private:
-  void OnDownlinkFrame(Frame frame);
+  void OnDownlinkFrame(Frame&& frame);
+  void OnUplinkTxOutcome(const Frame& frame, bool delivered, int attempts);
 
   Channel& channel_;
   AccessPoint* ap_;

@@ -72,9 +72,8 @@ TEST(WiredLinkEdge, PropagationOverlapsSerialization) {
   net::WiredLink::Config config;
   config.rate_bps = 8'000'000;       // 1 ms per 1000 B.
   config.propagation = sim::Millis(50);  // long pipe.
-  net::WiredLink link(loop, config, [&](net::Packet) {
-    arrivals.push_back(loop.now());
-  });
+  auto on_arrival = [&](net::Packet) { arrivals.push_back(loop.now()); };
+  net::WiredLink link(loop, config, on_arrival);
   net::Packet p;
   p.size_bytes = 1000;
   link.Send(p);

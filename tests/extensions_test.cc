@@ -29,9 +29,9 @@ struct TxopFixture : public ::testing::Test {
   sim::EventLoop loop;
   wifi::Channel channel{loop, sim::Rng{42}};
   std::vector<sim::Time> deliveries;
-  wifi::OwnerId dst = channel.RegisterOwner([this](wifi::Frame) {
-    deliveries.push_back(loop.now());
-  });
+  void OnDelivery(wifi::Frame) { deliveries.push_back(loop.now()); }
+  wifi::OwnerId dst = channel.RegisterOwner(
+      wifi::Channel::DeliveryHandler::Member<&TxopFixture::OnDelivery>(this));
   wifi::OwnerId src = channel.RegisterOwner(nullptr);
 
   wifi::ContenderId MakeContender(wifi::AccessCategory ac) {
@@ -93,9 +93,10 @@ TEST_F(TxopFixture, TxopLimitBoundsTheBurst) {
 
 TEST_F(TxopFixture, BurstFramesCarryConsecutiveSequenceNumbers) {
   std::vector<std::uint16_t> sequences;
-  const wifi::OwnerId dst2 = channel.RegisterOwner([&](wifi::Frame f) {
+  auto on_delivery = [&](wifi::Frame f) {
     sequences.push_back(f.packet.mac.sequence);
-  });
+  };
+  const wifi::OwnerId dst2 = channel.RegisterOwner(on_delivery);
   const auto vo = channel.CreateContender(
       src, wifi::AccessCategory::kVoice,
       wifi::DefaultEdcaParams()[Index(wifi::AccessCategory::kVoice)]);

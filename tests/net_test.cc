@@ -159,7 +159,8 @@ TEST(WiredLink, DeliversAfterSerializationAndPropagation) {
   WiredLink::Config config;
   config.rate_bps = 8'000'000;  // 1 byte/us
   config.propagation = sim::Millis(2);
-  WiredLink link(loop, config, [&](Packet) { arrivals.push_back(loop.now()); });
+  auto on_arrival = [&](Packet) { arrivals.push_back(loop.now()); };
+  WiredLink link(loop, config, on_arrival);
 
   Packet p;
   p.size_bytes = 1000;  // 1 ms serialization.
@@ -175,7 +176,8 @@ TEST(WiredLink, BackToBackPacketsSerialize) {
   WiredLink::Config config;
   config.rate_bps = 8'000'000;
   config.propagation = 0;
-  WiredLink link(loop, config, [&](Packet) { arrivals.push_back(loop.now()); });
+  auto on_arrival = [&](Packet) { arrivals.push_back(loop.now()); };
+  WiredLink link(loop, config, on_arrival);
 
   Packet p;
   p.size_bytes = 1000;
@@ -193,7 +195,8 @@ TEST(WiredLink, DropsWhenQueueFull) {
   WiredLink::Config config;
   config.rate_bps = 8'000;  // very slow
   config.queue_capacity_packets = 3;
-  WiredLink link(loop, config, [&](Packet) { ++delivered; });
+  auto on_arrival = [&](Packet) { ++delivered; };
+  WiredLink link(loop, config, on_arrival);
 
   Packet p;
   p.size_bytes = 100;
@@ -207,8 +210,8 @@ TEST(WiredLink, PreservesOrder) {
   sim::EventLoop loop;
   std::vector<std::uint64_t> order;
   WiredLink::Config config;
-  WiredLink link(loop, config,
-                 [&](Packet p) { order.push_back(p.id); });
+  auto on_arrival = [&](Packet p) { order.push_back(p.id); };
+  WiredLink link(loop, config, on_arrival);
   for (std::uint64_t i = 1; i <= 5; ++i) {
     Packet p;
     p.id = i;
@@ -221,7 +224,7 @@ TEST(WiredLink, PreservesOrder) {
 
 TEST(WiredLink, CountsDelivered) {
   sim::EventLoop loop;
-  WiredLink link(loop, WiredLink::Config{}, [](Packet) {});
+  WiredLink link(loop, WiredLink::Config{}, [](Packet&&) {});
   Packet p;
   p.size_bytes = 100;
   link.Send(p);

@@ -146,10 +146,10 @@ TEST_P(TcpFairnessSweep, FlowsShareTheBottleneck) {
   link.rate_bps = 20'000'000;
   link.propagation = sim::Millis(10);
   link.queue_capacity_packets = 120;
-  bottleneck = std::make_unique<net::WiredLink>(
-      loop, link, [&](net::Packet p) {
-        pipes[p.flow - 1].receiver->OnSegment(p, loop.now());
-      });
+  auto on_bottleneck = [&](net::Packet p) {
+    pipes[p.flow - 1].receiver->OnSegment(p, loop.now());
+  };
+  bottleneck = std::make_unique<net::WiredLink>(loop, link, on_bottleneck);
 
   for (int i = 0; i < flows; ++i) {
     const net::FlowId flow = i + 1;
@@ -272,9 +272,8 @@ TEST_P(WiredLinkRateSweep, SaturatedLinkDeliversAtLineRate) {
   net::WiredLink::Config config;
   config.rate_bps = rate;
   config.queue_capacity_packets = 64;
-  net::WiredLink wire(loop, config, [&](net::Packet p) {
-    bytes += p.size_bytes;
-  });
+  auto on_arrival = [&](net::Packet p) { bytes += p.size_bytes; };
+  net::WiredLink wire(loop, config, on_arrival);
   // Offer far more than line rate.
   sim::PeriodicTimer offer(loop, sim::FromSeconds(1000.0 * 8.0 / (3.0 * rate)),
                            [&] {

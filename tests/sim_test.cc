@@ -318,23 +318,25 @@ TEST(EventLoop, CompactionBoundsTombstonesUnderCancelChurn) {
   for (int i = 0; i < 1000; ++i) {
     ids.push_back(loop.ScheduleAt(Millis(i + 1), [] {}));
   }
-  // Cancel 600 events spread across the heap. Without compaction the heap
-  // would carry all 600 tombstones until they surface at the top.
+  // Cancel 900 events spread across the heap. Without compaction the heap
+  // would carry all 900 tombstones until they surface at the top.
   int cancelled = 0;
-  for (std::size_t i = 0; i < ids.size() && cancelled < 600; i += 1) {
-    if (i % 5 != 4) {  // skip every 5th to interleave live survivors.
+  for (std::size_t i = 0; i < ids.size() && cancelled < 900; i += 1) {
+    if (i % 10 != 9) {  // skip every 10th to interleave live survivors.
       ASSERT_TRUE(loop.Cancel(ids[i]));
       ++cancelled;
     }
   }
-  EXPECT_EQ(loop.pending(), 400u);
-  // The sweep fires once tombstones exceed half the heap, so the steady
-  // state can never hold the full cancel count.
+  EXPECT_EQ(loop.pending(), 100u);
+  // The sweep fires once tombstones exceed three quarters of the heap
+  // (below that, lazy top-reaping is cheaper than a sweep — see
+  // EventLoop::Cancel), so the steady state can never hold the full cancel
+  // count.
   EXPECT_LT(loop.tombstones(), 300u);
   int ran = 0;
   loop.SetProbe(nullptr);
   loop.Run();
-  EXPECT_EQ(loop.executed(), 400u);
+  EXPECT_EQ(loop.executed(), 100u);
   EXPECT_EQ(loop.tombstones(), 0u);
   (void)ran;
 }

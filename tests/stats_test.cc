@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
+#include "sim/rng.h"
 #include "stats/confusion.h"
 #include "stats/distributions.h"
 #include "stats/ewma.h"
@@ -137,6 +139,40 @@ TEST(Percentile, ClampsOutOfRangeP) {
   const std::vector<double> v = {1.0, 2.0};
   EXPECT_DOUBLE_EQ(Percentile(v, -10.0), 1.0);
   EXPECT_DOUBLE_EQ(Percentile(v, 200.0), 2.0);
+}
+
+TEST(Percentile, PercentileMatchesSortedReference) {
+  // The single-p overload selects with std::nth_element instead of sorting;
+  // golden outputs depend on it staying BIT-identical to the sorted +
+  // linear-interpolation reference. Randomized sizes, values (including
+  // duplicates and negatives) and percentiles, fixed seed.
+  sim::Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(1, 400));
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Coarse grid: plenty of exact duplicates to stress tie handling.
+      samples.push_back(
+          static_cast<double>(rng.UniformInt(-50, 50)) / 4.0);
+    }
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (int k = 0; k < 5; ++k) {
+      const double p = rng.Uniform(-5.0, 105.0);  // includes the clamp range.
+      const double clamped = std::clamp(p, 0.0, 100.0);
+      const double rank =
+          clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+      const auto lo = static_cast<std::size_t>(std::floor(rank));
+      const auto hi = static_cast<std::size_t>(std::ceil(rank));
+      const double frac = rank - static_cast<double>(lo);
+      const double reference =
+          sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+      const double got = Percentile(samples, p);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(got, reference) << "n=" << n << " p=" << p;
+    }
+  }
 }
 
 TEST(Percentiles, MultipleAtOnceMatchSingle) {

@@ -200,6 +200,8 @@ struct TcpHarness {
   std::unique_ptr<TcpRenoSender> sender;
   std::unique_ptr<TcpRenoReceiver> receiver;
 
+  void OnBottleneck(net::Packet p) { receiver->OnSegment(p, loop.now()); }
+
   explicit TcpHarness(std::int64_t rate_bps, std::size_t queue = 100,
                       sim::Duration delay = sim::Millis(10)) {
     net::WiredLink::Config link;
@@ -208,7 +210,7 @@ struct TcpHarness {
     link.queue_capacity_packets = queue;
     bottleneck = std::make_unique<net::WiredLink>(
         loop, link,
-        [this](net::Packet p) { receiver->OnSegment(p, loop.now()); });
+        net::WiredLink::Receiver::Member<&TcpHarness::OnBottleneck>(this));
     sender = std::make_unique<TcpRenoSender>(
         loop, 1, 10, 20, ids,
         [this](net::Packet p) { bottleneck->Send(std::move(p)); });

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <functional>
 #include <vector>
 
 #include "net/packet.h"
@@ -116,11 +118,16 @@ struct ChannelFixture : public ::testing::Test {
     std::vector<sim::Time> times;
   };
 
+  // Channel hooks are non-owning FunctionRefs; the fixture owns the
+  // handler closures (deque: stable addresses across AddOwner calls).
+  std::deque<std::function<void(Frame)>> handlers;
+
   OwnerId AddOwner(Sink& sink) {
-    return channel.RegisterOwner([this, &sink](Frame frame) {
+    handlers.push_back([this, &sink](Frame frame) {
       sink.frames.push_back(std::move(frame));
       sink.times.push_back(loop.now());
     });
+    return channel.RegisterOwner(handlers.back());
   }
 
   Frame MakeFrame(OwnerId dest, std::int32_t bytes = 1000,
@@ -348,7 +355,8 @@ TEST_F(ChannelFixture, RetryLimitDropsFrame) {
   channel.SetFrameErrorModel(
       [](OwnerId, OwnerId, const Frame&) { return 1.0; });
   int drops = 0;
-  channel.SetDropHandler([&](const Frame&) { ++drops; });
+  auto on_drop = [&](const Frame&) { ++drops; };
+  channel.SetDropHandler(on_drop);
   channel.Enqueue(c, MakeFrame(dst));
   loop.Run();
   EXPECT_EQ(rx.frames.size(), 0u);
@@ -375,8 +383,8 @@ TEST_F(ChannelFixture, DeterministicAcrossIdenticalRuns) {
     sim::EventLoop loop;
     Channel channel(loop, sim::Rng{seed});
     std::vector<sim::Time> times;
-    const OwnerId dst = channel.RegisterOwner(
-        [&](Frame) { times.push_back(loop.now()); });
+    auto on_delivery = [&](Frame) { times.push_back(loop.now()); };
+    const OwnerId dst = channel.RegisterOwner(on_delivery);
     const OwnerId src = channel.RegisterOwner(nullptr);
     const ContenderId c = channel.CreateContender(
         src, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 256);
@@ -392,6 +400,140 @@ TEST_F(ChannelFixture, DeterministicAcrossIdenticalRuns) {
   };
   EXPECT_EQ(run(5), run(5));
   EXPECT_NE(run(5), run(6));
+}
+
+TEST_F(ChannelFixture, PerAcFifoSurvivesQueueAndRetryDropInterleavings) {
+  // Regression test for the FrameRing queue + backlog-stamp rewrite: under a
+  // mix of capacity drops (enqueue refused) and retry drops (frame abandoned
+  // mid-queue), each AC must still deliver exactly its accepted, non-poisoned
+  // frames in enqueue order.
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId be = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 4);
+  const ContenderId vo = channel.CreateContender(
+      src, AccessCategory::kVoice, DefaultEdcaParams()[3], 4);
+  // Poisoned ids (>= 1000) always fail on air and exhaust their retries.
+  channel.SetFrameErrorModel([](OwnerId, OwnerId, const Frame& f) {
+    return f.packet.id >= 1000 ? 1.0 : 0.0;
+  });
+  std::vector<std::uint64_t> retry_dropped;
+  auto on_drop = [&](const Frame& f) { retry_dropped.push_back(f.packet.id); };
+  channel.SetDropHandler(on_drop);
+
+  // Three enqueue waves with partial drains between them: every wave
+  // overfills both 4-deep queues (capacity drops) and plants one poisoned
+  // frame per AC (retry drops), so the two drop kinds interleave with
+  // deliveries in flight.
+  std::vector<std::uint64_t> accepted_be;
+  std::vector<std::uint64_t> accepted_vo;
+  std::uint64_t next_id = 1;
+  std::uint64_t next_poison = 1000;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int k = 0; k < 6; ++k) {
+      // Poison the 3rd slot of each wave.
+      const std::uint64_t be_id = (k == 2) ? next_poison++ : next_id++;
+      Frame f_be = MakeFrame(dst, 400);
+      f_be.packet.id = be_id;
+      f_be.packet.flow = 1;
+      if (channel.Enqueue(be, std::move(f_be))) accepted_be.push_back(be_id);
+      const std::uint64_t vo_id = (k == 2) ? next_poison++ : next_id++;
+      Frame f_vo = MakeFrame(dst, 400);
+      f_vo.packet.id = vo_id;
+      f_vo.packet.flow = 2;
+      if (channel.Enqueue(vo, std::move(f_vo))) accepted_vo.push_back(vo_id);
+    }
+    loop.RunFor(sim::Millis(4));  // drain a few, not all.
+  }
+  loop.Run();
+
+  auto surviving = [](const std::vector<std::uint64_t>& ids) {
+    std::vector<std::uint64_t> out;
+    for (const std::uint64_t id : ids) {
+      if (id < 1000) out.push_back(id);
+    }
+    return out;
+  };
+  std::vector<std::uint64_t> got_be;
+  std::vector<std::uint64_t> got_vo;
+  for (const auto& f : rx.frames) {
+    (f.packet.flow == 1 ? got_be : got_vo).push_back(f.packet.id);
+  }
+  // Exact per-AC FIFO: the accepted minus the poisoned, in enqueue order.
+  EXPECT_EQ(got_be, surviving(accepted_be));
+  EXPECT_EQ(got_vo, surviving(accepted_vo));
+  // Every accepted poisoned frame was retry-dropped, none delivered.
+  EXPECT_EQ(retry_dropped.size(),
+            (accepted_be.size() - surviving(accepted_be).size()) +
+                (accepted_vo.size() - surviving(accepted_vo).size()));
+  EXPECT_EQ(channel.QueueDrops(be) + accepted_be.size(), 18u);
+  EXPECT_EQ(channel.QueueDrops(vo) + accepted_vo.size(), 18u);
+  EXPECT_EQ(channel.RetryDrops(be) + channel.RetryDrops(vo),
+            retry_dropped.size());
+}
+
+TEST_F(ChannelFixture, RetryDropResetsContentionWindowLadder) {
+  // A frame that exhausts its retries walks the cw ladder up to cw_max; the
+  // NEXT head-of-line frame must contend with a fresh cw_min window and a
+  // reset attempt counter. If the ladder leaked across the drop, the
+  // post-drop backoff would be drawn from [0, 1023] instead of [0, 15] and
+  // the gap bound below would fail (seeded run: deterministic either way).
+  Sink rx;
+  const OwnerId dst = AddOwner(rx);
+  Sink unused;
+  const OwnerId src = AddOwner(unused);
+  const ContenderId c = channel.CreateContender(
+      src, AccessCategory::kBestEffort, DefaultEdcaParams()[1], 64);
+  channel.SetFrameErrorModel([](OwnerId, OwnerId, const Frame& f) {
+    return f.packet.id >= 1000 ? 1.0 : 0.0;
+  });
+  std::vector<sim::Time> drop_times;
+  auto on_drop = [&](const Frame&) { drop_times.push_back(loop.now()); };
+  channel.SetDropHandler(on_drop);
+  std::vector<std::pair<bool, int>> feedback;  // (delivered, attempts)
+  auto on_feedback = [&](const Frame&, bool delivered, int attempts) {
+    feedback.emplace_back(delivered, attempts);
+  };
+  channel.SetTxFeedback(c, on_feedback);
+
+  constexpr int kPairs = 20;
+  for (int k = 0; k < kPairs; ++k) {
+    Frame poison = MakeFrame(dst, 400);
+    poison.packet.id = 1000 + static_cast<std::uint64_t>(k);
+    ASSERT_TRUE(channel.Enqueue(c, std::move(poison)));
+    Frame clean = MakeFrame(dst, 400);
+    clean.packet.id = static_cast<std::uint64_t>(k) + 1;
+    ASSERT_TRUE(channel.Enqueue(c, std::move(clean)));
+    loop.Run();
+  }
+
+  ASSERT_EQ(rx.frames.size(), static_cast<std::size_t>(kPairs));
+  ASSERT_EQ(drop_times.size(), static_cast<std::size_t>(kPairs));
+  const PhyParams& phy = channel.phy();
+  const EdcaParams be_params = DefaultEdcaParams()[1];
+  const sim::Duration airtime = phy.FrameAirtime(400, 24'000'000);
+  for (int k = 0; k < kPairs; ++k) {
+    // Drop-to-delivery gap: AIFS + fresh backoff (0..cw_min slots) +
+    // airtime. Twenty consecutive draws all landing within 15 slots of a
+    // non-reset [0, 1023] window cannot happen.
+    const sim::Duration gap =
+        rx.times[static_cast<std::size_t>(k)] -
+        drop_times[static_cast<std::size_t>(k)];
+    EXPECT_GE(gap, phy.Aifs(be_params) + airtime);
+    EXPECT_LE(gap, phy.Aifs(be_params) + be_params.cw_min * phy.slot +
+                       airtime);
+  }
+  // The attempt counter also resets: every poisoned frame reports
+  // retry_limit failed attempts, every clean frame exactly one.
+  ASSERT_EQ(feedback.size(), static_cast<std::size_t>(2 * kPairs));
+  for (int k = 0; k < kPairs; ++k) {
+    EXPECT_EQ(feedback[static_cast<std::size_t>(2 * k)],
+              std::make_pair(false, phy.retry_limit));
+    EXPECT_EQ(feedback[static_cast<std::size_t>(2 * k) + 1],
+              std::make_pair(true, 1));
+  }
 }
 
 // ------------------------------------------------------ AP and Station ----
@@ -574,9 +716,10 @@ TEST_P(AccessDelayTest, VoiceDelayStaysLowUnderBestEffortLoad) {
   sim::EventLoop loop;
   Channel channel(loop, sim::Rng{static_cast<std::uint64_t>(1000 + contenders)});
   std::vector<sim::Time> vo_deliveries;
-  const OwnerId dst = channel.RegisterOwner([&](Frame frame) {
+  auto on_delivery = [&](Frame frame) {
     if (frame.packet.flow == 99) vo_deliveries.push_back(loop.now());
-  });
+  };
+  const OwnerId dst = channel.RegisterOwner(on_delivery);
 
   // `contenders` saturated BE stations.
   std::vector<ContenderId> be;
