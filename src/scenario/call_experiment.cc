@@ -43,6 +43,11 @@ obs::Labels WithArm(const obs::Labels& base, bool kwikr) {
 /// Fork() the testbed performs on the same seed.
 constexpr std::uint64_t kFaultRngStream = 0xFA17;
 
+/// Rng stream id for queue-discipline randomness (the FQ-CoDel hash
+/// perturbation). Disjoint from kFaultRngStream and the testbed's
+/// per-entity forks for the same reason.
+constexpr std::uint64_t kQdiscRngStream = 0x0D15C;
+
 }  // namespace
 
 ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
@@ -70,6 +75,12 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
       config.faults.wmm.mode != faults::FaultSpec::WmmMode::kOff;
   bss_config.ap.queue_capacity[Index(wifi::AccessCategory::kBestEffort)] =
       config.be_queue_capacity;
+  bss_config.ap.qdisc = config.qdisc;
+  // RNG discipline: FQ hashing perturbs from a dedicated fork of the run
+  // seed, never from the caller (wall clocks there would break fleet
+  // bit-identity across --jobs).
+  bss_config.ap.qdisc.hash_seed =
+      sim::Rng(config.seed).Fork(kQdiscRngStream).Next();
   Bss& bss = testbed.AddBss(bss_config);
 
   // --- Fault injection -----------------------------------------------------
@@ -235,10 +246,13 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
   }
 
   // --- Cross traffic -------------------------------------------------------
+  transport::TcpSender::Config cross_tcp;
+  cross_tcp.cc = config.cross_cc;
   for (int s = 0; s < config.cross_stations; ++s) {
     wifi::Station& station = bss.AddStation(testbed.NextStationAddress(),
                                             config.client_rate_bps);
-    testbed.AddTcpBulkFlows(bss, station, config.flows_per_station);
+    testbed.AddTcpBulkFlows(bss, station, config.flows_per_station,
+                            /*managed=*/true, cross_tcp);
   }
   if (config.cross_stations > 0) {
     testbed.ScheduleCrossTraffic(config.congestion_start,
@@ -257,6 +271,7 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
     // the foreground flow from bloating the AP queue on its own.
     transport::TcpRenoSender::Config fg;
     fg.max_in_flight = 96;
+    fg.cc = config.cross_cc;
     auto flows =
         testbed.AddTcpBulkFlows(bss, station, 1, /*managed=*/false, fg);
     flows.front()->sender->Start();
@@ -415,7 +430,26 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
           .Add(bss.ap().DownlinkRetryDrops(category));
       metrics->GetCounter("ap_delivered_total", labels)
           .Add(bss.ap().DownlinkDelivered(category));
+      // Queue-discipline outcomes: AQM (sojourn) drops, buffer overflows,
+      // and the sojourn-time sketch. All deterministic end-of-run scrapes.
+      const wifi::QueueDiscipline& qdisc = bss.ap().DownlinkQdisc(category);
+      metrics->GetCounter("qdisc_aqm_drops_total", labels)
+          .Add(qdisc.aqm_drops());
+      metrics->GetCounter("qdisc_overflow_drops_total", labels)
+          .Add(qdisc.overflow_drops());
+      metrics->GetCounter("qdisc_forwarded_total", labels)
+          .Add(qdisc.forwarded());
+      metrics
+          ->GetHistogram("qdisc_sojourn_ms", labels,
+                         {qdisc.sojourn_ms().config().lo,
+                          qdisc.sojourn_ms().config().hi,
+                          qdisc.sojourn_ms().config().bins})
+          .Merge(qdisc.sojourn_ms());
     }
+    // Wired-side packets for stations unknown to this AP (satellite of the
+    // roaming faults): previously only a C++ accessor, now a real series.
+    metrics->GetCounter("ap_unroutable_drops_total", env)
+        .Add(bss.ap().unroutable_drops());
     std::uint64_t retransmissions = 0;
     std::uint64_t tcp_timeouts = 0;
     std::uint64_t segments_acked = 0;

@@ -13,6 +13,8 @@
 #include "rtc/media.h"
 #include "scenario/testbed.h"
 #include "sim/time.h"
+#include "transport/congestion_control.h"
+#include "wifi/queue_discipline.h"
 #include "wifi/rate_table.h"
 
 namespace kwikr::scenario {
@@ -49,6 +51,15 @@ struct ExperimentConfig {
   int flows_per_station = 20;
   sim::Time congestion_start = sim::Seconds(60);
   sim::Time congestion_end = sim::Seconds(120);
+  /// Congestion control run by the cross-traffic (and foreground) TCP
+  /// senders — the CC axis of the CC×qdisc grid.
+  transport::CcAlgorithm cross_cc = transport::CcAlgorithm::kReno;
+
+  /// AP downlink queue discipline — the AQM axis of the grid. The
+  /// hash_seed field is overwritten here: the experiment derives it from
+  /// `seed` through a dedicated sim::Rng::Fork stream so FQ-CoDel
+  /// bucketing is deterministic and fleet-shard-stable.
+  wifi::QdiscConfig qdisc;
 
   // Always-on foreground TCP flow on its own station (Figure 1).
   bool foreground_tcp = false;

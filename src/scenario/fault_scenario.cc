@@ -196,6 +196,22 @@ bool ParseFaultScenario(std::string_view text, FaultScenario* out,
       ok = ParseBool(value, &e.calls.at(0).kwikr);
     } else if (key == "wmm_detection") {
       ok = ParseBool(value, &out->wmm_detection);
+    } else if (key == "cc") {
+      ok = transport::ParseCcAlgorithm(value, &e.cross_cc);
+      out->bottleneck_explicit = true;
+    } else if (key == "qdisc") {
+      ok = wifi::ParseQdiscKind(value, &e.qdisc.kind);
+      out->bottleneck_explicit = true;
+    } else if (key == "codel_target_ms") {
+      ok = ParseMillis(value, &e.qdisc.target);
+      out->bottleneck_explicit = true;
+    } else if (key == "codel_interval_ms") {
+      ok = ParseMillis(value, &e.qdisc.interval);
+      out->bottleneck_explicit = true;
+    } else if (key == "fq_flows") {
+      ok = ParseInt64(value, &i64) && i64 > 0;
+      e.qdisc.flows = static_cast<std::uint32_t>(i64);
+      out->bottleneck_explicit = true;
     } else {
       *error = "line " + std::to_string(line_no) + ": unknown key '" +
                std::string(key) + "'";
@@ -268,6 +284,32 @@ FaultScenarioSummary RunFaultScenario(const FaultScenario& scenario) {
   fc.churn_switches = count("churn_switches");
   fc.schedule_toggles = count("schedule_toggles");
 
+  if (scenario.bottleneck_explicit) {
+    s.bottleneck = true;
+    s.cc = transport::Name(config.cross_cc);
+    s.qdisc = wifi::Name(config.qdisc.kind);
+    for (int ac = 0; ac < wifi::kNumAccessCategories; ++ac) {
+      const obs::Labels labels = {
+          {"ac", wifi::Name(static_cast<wifi::AccessCategory>(ac))}};
+      s.qdisc_aqm_drops +=
+          registry.GetCounter("qdisc_aqm_drops_total", labels).value();
+      s.qdisc_overflow_drops +=
+          registry.GetCounter("qdisc_overflow_drops_total", labels).value();
+      s.ap_queue_drops +=
+          registry.GetCounter("ap_queue_drops_total", labels).value();
+    }
+    s.tcp_retransmissions =
+        registry.GetCounter("tcp_retransmissions_total").value();
+    const stats::Histogram sojourn =
+        registry
+            .GetHistogram("qdisc_sojourn_ms", {{"ac", "BE"}},
+                          {0.0, 1000.0, 256})
+            .Snapshot();
+    s.sojourn_be_p50_ms = sojourn.Percentile(50.0);
+    s.sojourn_be_p95_ms = sojourn.Percentile(95.0);
+    s.sojourn_be_p99_ms = sojourn.Percentile(99.0);
+  }
+
   s.channel_busy_pct = metrics.channel_busy_fraction * 100.0;
   s.events_executed = metrics.events_executed;
 
@@ -330,6 +372,26 @@ std::string ToCanonicalJson(const FaultScenarioSummary& s) {
             i + 1 < std::size(counters) ? "," : "");
   }
   out += "  },\n";
+  // Emitted only for scenarios that named a cc=/qdisc= key: every summary
+  // byte of the pre-grid corpus is unchanged.
+  if (s.bottleneck) {
+    out += "  \"bottleneck\": {\n";
+    AppendF(&out, "    \"cc\": \"%s\",\n", s.cc.c_str());
+    AppendF(&out, "    \"qdisc\": \"%s\",\n", s.qdisc.c_str());
+    AppendF(&out, "    \"aqm_drops\": %llu,\n",
+            static_cast<unsigned long long>(s.qdisc_aqm_drops));
+    AppendF(&out, "    \"overflow_drops\": %llu,\n",
+            static_cast<unsigned long long>(s.qdisc_overflow_drops));
+    AppendF(&out, "    \"queue_drops\": %llu,\n",
+            static_cast<unsigned long long>(s.ap_queue_drops));
+    AppendF(&out, "    \"tcp_retransmissions\": %llu,\n",
+            static_cast<unsigned long long>(s.tcp_retransmissions));
+    AppendF(&out,
+            "    \"sojourn_be_ms\": "
+            "{\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}\n",
+            s.sojourn_be_p50_ms, s.sojourn_be_p95_ms, s.sojourn_be_p99_ms);
+    out += "  },\n";
+  }
   AppendF(&out, "  \"channel_busy_pct\": %.3f,\n", s.channel_busy_pct);
   AppendF(&out, "  \"events_executed\": %llu,\n",
           static_cast<unsigned long long>(s.events_executed));

@@ -35,6 +35,16 @@ namespace kwikr::scenario {
 ///   kwikr=0                   # adaptation arm of the call
 ///   wmm_detection=0           # also run the Section-5.5 detector
 ///
+/// Bottleneck keys (the CC×qdisc grid). Naming any of them switches the
+/// summary's "bottleneck" JSON section on; scenarios that omit them produce
+/// the pre-existing summary bytes:
+///
+///   cc=reno                   # reno | cubic | westwood | bbr
+///   qdisc=droptail            # droptail | codel | fq_codel
+///   codel_target_ms=5
+///   codel_interval_ms=100
+///   fq_flows=64
+///
 /// Fault keys are the faults::ParseFaultSpec keys with a `fault.` prefix
 /// (repeatable `fault.schedule=` included):
 ///
@@ -45,6 +55,9 @@ struct FaultScenario {
   std::string name = "unnamed";
   ExperimentConfig experiment;
   bool wmm_detection = false;
+  /// True when the scenario named any cc=/qdisc= key; gates the summary's
+  /// "bottleneck" section so the pre-grid corpus stays byte-identical.
+  bool bottleneck_explicit = false;
 };
 
 /// Parses scenario text. Returns false with a one-line description of the
@@ -73,6 +86,20 @@ struct FaultScenarioSummary {
 
   // What the injector did (exact counts).
   faults::FaultCounters fault_counters;
+
+  // CC×qdisc bottleneck telemetry (meaningful only when the scenario named
+  // a cc=/qdisc= key; the JSON section is omitted otherwise).
+  bool bottleneck = false;
+  std::string cc;     ///< congestion-control schedule name.
+  std::string qdisc;  ///< queue-discipline schedule name.
+  std::uint64_t qdisc_aqm_drops = 0;       ///< summed over ACs.
+  std::uint64_t qdisc_overflow_drops = 0;  ///< summed over ACs.
+  std::uint64_t ap_queue_drops = 0;        ///< summed over ACs.
+  std::uint64_t tcp_retransmissions = 0;
+  /// Sojourn time through the Best-Effort discipline, milliseconds.
+  double sojourn_be_p50_ms = 0.0;
+  double sojourn_be_p95_ms = 0.0;
+  double sojourn_be_p99_ms = 0.0;
 
   // Environment.
   double channel_busy_pct = 0.0;

@@ -1,0 +1,213 @@
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "transport/cc_impl.h"
+#include "transport/congestion_control.h"
+
+namespace kwikr::transport {
+namespace {
+
+/// Model-based, BBR-style rate sender. Instead of probing for loss it
+/// maintains a model of the path — a windowed-max filter over delivery-rate
+/// samples (bottleneck bandwidth) and a windowed-min filter over RTT
+/// samples (propagation delay) — and sets
+///
+///   cwnd        = cwnd_gain  * BDP        (loss events don't shrink it)
+///   pacing_rate = pacing_gain * btl_bw    (enforced by TcpSender's
+///                                          TokenBucket pacer)
+///
+/// through the STARTUP -> DRAIN -> PROBE_BW state machine of the BBR v1
+/// draft. This is explicitly a *model*, not a port: no ProbeRTT state, and
+/// delivery rate is measured from cumulative-ACK arrivals. It keeps the
+/// defining behaviour the AQM grid needs — a sender that regulates the
+/// bottleneck queue by pacing rather than by filling it until drop-tail
+/// pushes back, so its Tq signature is flat where Reno's saw-tooths.
+class BbrCc final : public CongestionControl {
+ public:
+  static constexpr double kHighGain = 2.885;  ///< 2/ln(2): double each RTT.
+  static constexpr double kDrainGain = 1.0 / kHighGain;
+  static constexpr double kCwndGain = 2.0;
+  static constexpr int kBwWindowRounds = 10;
+  static constexpr sim::Duration kMinRttWindow = sim::Seconds(10);
+
+  explicit BbrCc(const CcConfig& config)
+      : wire_bits_per_segment_(
+            8.0 * static_cast<double>(config.mss_bytes + config.header_bytes)),
+        cwnd_(config.initial_cwnd) {}
+
+  void OnAck(std::int64_t newly_acked, std::int64_t in_flight,
+             sim::Time now) override {
+    // Delivery-rate sample: segments acknowledged per unit time. ACKs that
+    // land on the same tick pool into one sample so the rate stays finite.
+    pending_acked_ += newly_acked;
+    if (last_ack_at_ == 0) {
+      last_ack_at_ = now;
+      pending_acked_ = 0;
+    } else if (now > last_ack_at_) {
+      const double bps = static_cast<double>(pending_acked_) *
+                         wire_bits_per_segment_ /
+                         sim::ToSeconds(now - last_ack_at_);
+      // DRAIN throttles the pacer to ~0.35x the estimate, so its delivery
+      // rate reflects the gain, not the path; feeding those samples into
+      // the max filter would ratchet the model downward once the honest
+      // STARTUP samples age out of the window.
+      if (state_ != State::kDrain) RecordBwSample(bps);
+      pending_acked_ = 0;
+      last_ack_at_ = now;
+    }
+    if (state_ == State::kDrain &&
+        static_cast<double>(in_flight) <= BdpSegments()) {
+      state_ = State::kProbeBw;
+      cycle_index_ = 0;
+    }
+    UpdateCwnd();
+  }
+
+  void OnDupAckInRecovery() override {}
+
+  // BBR's model is loss-agnostic: drops at an AQM bottleneck are signal for
+  // window-based senders, not for a pacer already sitting at the estimated
+  // bandwidth. The sender still retransmits; the model doesn't flinch.
+  void OnLoss(sim::Time /*now*/) override {}
+  void OnPartialAck() override {}
+  void OnRecoveryExit(sim::Time /*now*/) override {}
+
+  void OnRto(sim::Time now) override {
+    // Persistent loss of feedback means the model is stale; restart the
+    // bandwidth filter rather than blasting at the old estimate.
+    bw_window_.clear();
+    full_bw_bps_ = 0.0;
+    full_bw_rounds_ = 0;
+    state_ = State::kStartup;
+    last_ack_at_ = 0;
+    pending_acked_ = 0;
+    UpdateCwnd();
+    (void)now;
+  }
+
+  void OnRttSample(sim::Duration sample, sim::Time now) override {
+    if (min_rtt_ == 0 || sample <= min_rtt_ ||
+        now - min_rtt_stamp_ > kMinRttWindow) {
+      min_rtt_ = sample;
+      min_rtt_stamp_ = now;
+    }
+    // The sender times roughly one segment per window, so each clean sample
+    // marks a new round trip: advance the round-based machinery.
+    ++round_;
+    ExpireBwWindow();
+    switch (state_) {
+      case State::kStartup:
+        CheckStartupFull();
+        break;
+      case State::kDrain:
+        break;
+      case State::kProbeBw:
+        cycle_index_ = (cycle_index_ + 1) % 8;
+        break;
+    }
+    UpdateCwnd();
+  }
+
+  [[nodiscard]] double cwnd() const override { return cwnd_; }
+  /// BBR has no ssthresh; report the current window so scrapes stay sane.
+  [[nodiscard]] double ssthresh() const override { return cwnd_; }
+
+  [[nodiscard]] std::int64_t pacing_rate_bps() const override {
+    const double bw = BtlBwBps();
+    if (bw <= 0.0) return 0;  // model empty: unpaced first flight.
+    double gain = 1.0;
+    switch (state_) {
+      case State::kStartup:
+        gain = kHighGain;
+        break;
+      case State::kDrain:
+        gain = kDrainGain;
+        break;
+      case State::kProbeBw:
+        gain = kCycleGains[cycle_index_];
+        break;
+    }
+    return static_cast<std::int64_t>(gain * bw);
+  }
+
+  [[nodiscard]] const char* name() const override { return "bbr"; }
+
+ private:
+  enum class State { kStartup, kDrain, kProbeBw };
+
+  static constexpr double kCycleGains[8] = {1.25, 0.75, 1.0, 1.0,
+                                            1.0,  1.0,  1.0, 1.0};
+
+  struct BwSample {
+    std::int64_t round;
+    double bps;
+  };
+
+  void RecordBwSample(double bps) {
+    bw_window_.push_back({round_, bps});
+    ExpireBwWindow();
+  }
+
+  void ExpireBwWindow() {
+    while (!bw_window_.empty() &&
+           bw_window_.front().round < round_ - kBwWindowRounds) {
+      bw_window_.erase(bw_window_.begin());
+    }
+  }
+
+  [[nodiscard]] double BtlBwBps() const {
+    double best = 0.0;
+    for (const BwSample& s : bw_window_) best = std::max(best, s.bps);
+    return best;
+  }
+
+  [[nodiscard]] double BdpSegments() const {
+    const double bw = BtlBwBps();
+    if (bw <= 0.0 || min_rtt_ == 0) return cwnd_;
+    return bw * sim::ToSeconds(min_rtt_) / wire_bits_per_segment_;
+  }
+
+  void CheckStartupFull() {
+    const double bw = BtlBwBps();
+    if (bw > full_bw_bps_ * 1.25) {
+      full_bw_bps_ = bw;
+      full_bw_rounds_ = 0;
+      return;
+    }
+    if (full_bw_bps_ > 0.0 && ++full_bw_rounds_ >= 3) {
+      state_ = State::kDrain;  // pipe full: drain the startup queue.
+    }
+  }
+
+  void UpdateCwnd() {
+    if (BtlBwBps() <= 0.0 || min_rtt_ == 0) return;  // keep initial window.
+    cwnd_ = std::max(kCwndGain * BdpSegments(), 4.0);
+  }
+
+  const double wire_bits_per_segment_;
+  double cwnd_;
+  State state_ = State::kStartup;
+  int cycle_index_ = 0;
+
+  std::vector<BwSample> bw_window_;
+  std::int64_t round_ = 0;
+  double full_bw_bps_ = 0.0;
+  int full_bw_rounds_ = 0;
+
+  sim::Duration min_rtt_ = 0;
+  sim::Time min_rtt_stamp_ = 0;
+
+  std::int64_t pending_acked_ = 0;
+  sim::Time last_ack_at_ = 0;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<CongestionControl> MakeBbrCc(const CcConfig& config) {
+  return std::make_unique<BbrCc>(config);
+}
+}  // namespace detail
+
+}  // namespace kwikr::transport

@@ -1,0 +1,110 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "transport/cc_impl.h"
+#include "transport/congestion_control.h"
+
+namespace kwikr::transport {
+namespace {
+
+/// CUBIC congestion control (RFC 8312): window growth is a cubic function
+/// of the time since the last congestion event, anchored at the window
+/// where the loss happened (W_max). Less RTT-biased than Reno, so two CUBIC
+/// flows sharing the AP queue converge faster — and keep the bottleneck
+/// queue fuller, which is exactly the standing-queue signature Ping-Pair's
+/// Tq component is supposed to expose.
+class CubicCc final : public CongestionControl {
+ public:
+  static constexpr double kC = 0.4;     ///< RFC 8312 scaling constant.
+  static constexpr double kBeta = 0.7;  ///< multiplicative decrease.
+
+  explicit CubicCc(const CcConfig& config) : cwnd_(config.initial_cwnd) {}
+
+  void OnAck(std::int64_t /*newly_acked*/, std::int64_t /*in_flight*/,
+             sim::Time now) override {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start, same as Reno.
+      return;
+    }
+    if (epoch_start_ == 0) {
+      // New congestion-avoidance epoch: anchor the cubic at W_max (or at
+      // the current window when we are already above it).
+      epoch_start_ = now;
+      if (cwnd_ < w_max_) {
+        k_ = std::cbrt((w_max_ - cwnd_) / kC);
+        origin_ = w_max_;
+      } else {
+        k_ = 0.0;
+        origin_ = cwnd_;
+      }
+    }
+    // Aim one RTT ahead so the window reaches the target on schedule.
+    const double t = sim::ToSeconds(now - epoch_start_) + srtt_s_;
+    const double offs = t - k_;
+    const double target = origin_ + kC * offs * offs * offs;
+    if (target > cwnd_) {
+      cwnd_ += (target - cwnd_) / cwnd_;
+    } else {
+      // Deep in the concave plateau: creep so the epoch clock still runs.
+      cwnd_ += 0.01 / cwnd_;
+    }
+    // TCP-friendly region (RFC 8312 section 4.2): never grow slower than an
+    // AIMD flow with the same beta would.
+    if (srtt_s_ > 0.0) {
+      const double w_est =
+          w_max_ * kBeta + 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * (t / srtt_s_);
+      if (cwnd_ < w_est) cwnd_ = w_est;
+    }
+  }
+
+  void OnDupAckInRecovery() override {}
+
+  void OnLoss(sim::Time /*now*/) override {
+    epoch_start_ = 0;
+    // Fast convergence: losing below the previous W_max means a new flow is
+    // taking its share — release capacity by remembering an even lower peak.
+    w_max_ = cwnd_ < w_max_ ? cwnd_ * (2.0 - kBeta) / 2.0 : cwnd_;
+    ssthresh_ = std::max(cwnd_ * kBeta, 2.0);
+    cwnd_ = ssthresh_;
+  }
+
+  void OnPartialAck() override {}
+
+  void OnRecoveryExit(sim::Time /*now*/) override { cwnd_ = ssthresh_; }
+
+  void OnRto(sim::Time /*now*/) override {
+    epoch_start_ = 0;
+    w_max_ = cwnd_;
+    ssthresh_ = std::max(cwnd_ * kBeta, 2.0);
+    cwnd_ = 1.0;
+  }
+
+  void OnRttSample(sim::Duration sample, sim::Time /*now*/) override {
+    const double s = sim::ToSeconds(sample);
+    srtt_s_ = srtt_s_ == 0.0 ? s : 0.875 * srtt_s_ + 0.125 * s;
+  }
+
+  [[nodiscard]] double cwnd() const override { return cwnd_; }
+  [[nodiscard]] double ssthresh() const override { return ssthresh_; }
+  [[nodiscard]] const char* name() const override { return "cubic"; }
+
+ private:
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  double w_max_ = 0.0;
+  double origin_ = 0.0;
+  double k_ = 0.0;
+  sim::Time epoch_start_ = 0;  ///< 0 = epoch not started.
+  double srtt_s_ = 0.0;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<CongestionControl> MakeCubicCc(const CcConfig& config) {
+  return std::make_unique<CubicCc>(config);
+}
+}  // namespace detail
+
+}  // namespace kwikr::transport

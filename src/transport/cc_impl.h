@@ -1,0 +1,17 @@
+#pragma once
+
+// Internal: per-algorithm factory functions, one per cc_*.cc translation
+// unit. Users go through MakeCongestionControl in congestion_control.h.
+
+#include <memory>
+
+#include "transport/congestion_control.h"
+
+namespace kwikr::transport::detail {
+
+std::unique_ptr<CongestionControl> MakeRenoCc(const CcConfig& config);
+std::unique_ptr<CongestionControl> MakeCubicCc(const CcConfig& config);
+std::unique_ptr<CongestionControl> MakeWestwoodCc(const CcConfig& config);
+std::unique_ptr<CongestionControl> MakeBbrCc(const CcConfig& config);
+
+}  // namespace kwikr::transport::detail

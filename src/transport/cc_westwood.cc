@@ -1,0 +1,113 @@
+#include <algorithm>
+#include <memory>
+
+#include "transport/cc_impl.h"
+#include "transport/congestion_control.h"
+
+namespace kwikr::transport {
+namespace {
+
+/// TCP Westwood+ : Reno-style growth, but the backoff on loss is informed
+/// by an end-to-end bandwidth estimate instead of blind halving. The
+/// estimate is the ACK rate (acked wire bytes per sample interval) run
+/// through the Westwood+ two-stage low-pass filter; on loss the window
+/// collapses to the estimated bandwidth-delay product (bw * RTTmin), which
+/// deliberately *drains the standing queue* — the anti-bufferbloat behaviour
+/// that makes its Tq signature differ from Reno's.
+class WestwoodCc final : public CongestionControl {
+ public:
+  explicit WestwoodCc(const CcConfig& config)
+      : wire_bits_per_segment_(
+            8.0 * static_cast<double>(config.mss_bytes + config.header_bytes)),
+        cwnd_(config.initial_cwnd) {}
+
+  void OnAck(std::int64_t newly_acked, std::int64_t /*in_flight*/,
+             sim::Time now) override {
+    // Bandwidth sampling: one sample per RTT-ish interval of ACK arrivals.
+    acked_in_interval_ += newly_acked;
+    if (interval_start_ == 0) {
+      interval_start_ = now;
+      acked_in_interval_ = 0;
+    } else if (now - interval_start_ >= SampleInterval()) {
+      const double seconds = sim::ToSeconds(now - interval_start_);
+      const double sample = static_cast<double>(acked_in_interval_) *
+                            wire_bits_per_segment_ / seconds;
+      // Westwood+ filter: average consecutive raw samples, then EWMA.
+      const double smoothed = (sample + prev_sample_) / 2.0;
+      prev_sample_ = sample;
+      bw_est_bps_ =
+          bw_est_bps_ == 0.0 ? smoothed : 0.9 * bw_est_bps_ + 0.1 * smoothed;
+      interval_start_ = now;
+      acked_in_interval_ = 0;
+    }
+    // Window growth is plain Reno.
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;
+    } else {
+      cwnd_ += 1.0 / cwnd_;
+    }
+  }
+
+  void OnDupAckInRecovery() override { cwnd_ += 1.0; }
+
+  void OnLoss(sim::Time /*now*/) override {
+    ssthresh_ = BdpSegments();
+    // Faster-than-Reno recovery when below the pipe size: jump straight to
+    // the estimated BDP rather than deflating below it.
+    cwnd_ = std::max(std::min(cwnd_, ssthresh_), 2.0);
+  }
+
+  void OnPartialAck() override { cwnd_ = std::max(ssthresh_, cwnd_ - 1.0); }
+
+  void OnRecoveryExit(sim::Time /*now*/) override { cwnd_ = ssthresh_; }
+
+  void OnRto(sim::Time /*now*/) override {
+    ssthresh_ = BdpSegments();
+    cwnd_ = 1.0;
+  }
+
+  void OnRttSample(sim::Duration sample, sim::Time /*now*/) override {
+    if (min_rtt_ == 0 || sample < min_rtt_) min_rtt_ = sample;
+    srtt_ = srtt_ == 0 ? sample : (7 * srtt_ + sample) / 8;
+  }
+
+  [[nodiscard]] double cwnd() const override { return cwnd_; }
+  [[nodiscard]] double ssthresh() const override { return ssthresh_; }
+  [[nodiscard]] const char* name() const override { return "westwood"; }
+
+ private:
+  /// ssthresh on congestion = bw_est * RTTmin expressed in segments; falls
+  /// back to Reno halving until the first bandwidth sample lands.
+  [[nodiscard]] double BdpSegments() const {
+    if (bw_est_bps_ == 0.0 || min_rtt_ == 0) {
+      return std::max(cwnd_ / 2.0, 2.0);
+    }
+    const double segments =
+        bw_est_bps_ * sim::ToSeconds(min_rtt_) / wire_bits_per_segment_;
+    return std::max(segments, 2.0);
+  }
+
+  [[nodiscard]] sim::Duration SampleInterval() const {
+    return std::max(srtt_, sim::Millis(50));
+  }
+
+  const double wire_bits_per_segment_;
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  double bw_est_bps_ = 0.0;
+  double prev_sample_ = 0.0;
+  std::int64_t acked_in_interval_ = 0;
+  sim::Time interval_start_ = 0;
+  sim::Duration min_rtt_ = 0;
+  sim::Duration srtt_ = 0;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<CongestionControl> MakeWestwoodCc(const CcConfig& config) {
+  return std::make_unique<WestwoodCc>(config);
+}
+}  // namespace detail
+
+}  // namespace kwikr::transport

@@ -1,0 +1,51 @@
+#include "transport/congestion_control.h"
+
+#include "transport/cc_impl.h"
+
+namespace kwikr::transport {
+
+const char* Name(CcAlgorithm algorithm) {
+  switch (algorithm) {
+    case CcAlgorithm::kReno:
+      return "reno";
+    case CcAlgorithm::kCubic:
+      return "cubic";
+    case CcAlgorithm::kWestwood:
+      return "westwood";
+    case CcAlgorithm::kBbr:
+      return "bbr";
+  }
+  return "unknown";
+}
+
+bool ParseCcAlgorithm(std::string_view text, CcAlgorithm* out) {
+  if (text == "reno") {
+    *out = CcAlgorithm::kReno;
+  } else if (text == "cubic") {
+    *out = CcAlgorithm::kCubic;
+  } else if (text == "westwood") {
+    *out = CcAlgorithm::kWestwood;
+  } else if (text == "bbr") {
+    *out = CcAlgorithm::kBbr;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<CongestionControl> MakeCongestionControl(
+    CcAlgorithm algorithm, const CcConfig& config) {
+  switch (algorithm) {
+    case CcAlgorithm::kCubic:
+      return detail::MakeCubicCc(config);
+    case CcAlgorithm::kWestwood:
+      return detail::MakeWestwoodCc(config);
+    case CcAlgorithm::kBbr:
+      return detail::MakeBbrCc(config);
+    case CcAlgorithm::kReno:
+      break;
+  }
+  return detail::MakeRenoCc(config);
+}
+
+}  // namespace kwikr::transport

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace kwikr::transport {
+
+/// The sender-side congestion-control algorithms available to TcpSender.
+/// kReno is the paper's 2017 cross-traffic world; the others exist to answer
+/// the question the paper couldn't: does Ping-Pair's Tq/Ta/Tc attribution
+/// survive rate-based (BBR-style) senders and modern AQM bottlenecks?
+enum class CcAlgorithm : std::uint8_t {
+  kReno,      ///< AIMD + NewReno fast recovery (the historical default).
+  kCubic,     ///< RFC 8312 cubic window growth, beta = 0.7.
+  kWestwood,  ///< Westwood+: ACK-rate bandwidth estimate sets ssthresh.
+  kBbr,       ///< Model-based rate sender: windowed max-BW / min-RTT, paced.
+};
+
+/// Schedule name of an algorithm ("reno", "cubic", "westwood", "bbr").
+const char* Name(CcAlgorithm algorithm);
+
+/// Parses a schedule name; returns false on unknown input.
+bool ParseCcAlgorithm(std::string_view text, CcAlgorithm* out);
+
+/// Parameters every algorithm shares (segment-counted sequence space, like
+/// TcpSender itself).
+struct CcConfig {
+  std::int32_t mss_bytes = 1460;   ///< payload per segment.
+  std::int32_t header_bytes = 40;  ///< IP+TCP overhead (wire-rate maths).
+  double initial_cwnd = 10.0;      ///< RFC 6928 initial window.
+};
+
+/// Congestion-control state machine extracted from the original
+/// TcpRenoSender. The sender owns reliability (sequence numbers, dup-ACK
+/// counting, RTO timers, what to retransmit) and calls into this interface
+/// at every window-relevant transition; the implementation owns cwnd /
+/// ssthresh / pacing-rate evolution.
+///
+/// Units: cwnd and ssthresh are in segments (doubles, exactly as the
+/// original Reno arithmetic kept them); pacing_rate_bps is wire bits per
+/// second, 0 meaning "not a pacing algorithm — window-limit only".
+///
+/// Determinism: implementations must be pure functions of the call sequence
+/// (no wall clock, no ambient randomness), so a sender driven by the same
+/// simulated trace reproduces the same windows bit for bit.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// New cumulative data acknowledged outside fast recovery:
+  /// `newly_acked` segments left the network, `in_flight` remain after this
+  /// ACK. Reno-family algorithms grow per ACK arrival; rate-based ones feed
+  /// their delivery-rate model from `newly_acked` over time.
+  virtual void OnAck(std::int64_t newly_acked, std::int64_t in_flight,
+                     sim::Time now) = 0;
+
+  /// Duplicate ACK while the sender is already in fast recovery (Reno
+  /// inflates the window by one segment; others typically ignore it).
+  virtual void OnDupAckInRecovery() = 0;
+
+  /// Third duplicate ACK: the sender is entering fast recovery and will
+  /// retransmit the hole. The algorithm applies its multiplicative decrease.
+  virtual void OnLoss(sim::Time now) = 0;
+
+  /// NewReno partial ACK inside fast recovery (another hole follows).
+  virtual void OnPartialAck() = 0;
+
+  /// The recovery point was reached; the sender leaves fast recovery.
+  virtual void OnRecoveryExit(sim::Time now) = 0;
+
+  /// Retransmission timeout fired; the sender restarts from the hole.
+  virtual void OnRto(sim::Time now) = 0;
+
+  /// A clean (Karn-filtered) RTT sample from a timed segment.
+  virtual void OnRttSample(sim::Duration sample, sim::Time now) = 0;
+
+  [[nodiscard]] virtual double cwnd() const = 0;
+  [[nodiscard]] virtual double ssthresh() const = 0;
+  /// Current pacing rate in bits/sec; 0 = unpaced (window-limited only).
+  [[nodiscard]] virtual std::int64_t pacing_rate_bps() const { return 0; }
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Builds the named algorithm. Never returns null.
+std::unique_ptr<CongestionControl> MakeCongestionControl(
+    CcAlgorithm algorithm, const CcConfig& config);
+
+}  // namespace kwikr::transport

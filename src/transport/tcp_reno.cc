@@ -6,10 +6,10 @@
 
 namespace kwikr::transport {
 
-TcpRenoSender::TcpRenoSender(sim::EventLoop& loop, net::FlowId flow,
-                             net::Address src, net::Address dst,
-                             net::PacketIdAllocator& ids, SendFn send,
-                             Config config)
+TcpSender::TcpSender(sim::EventLoop& loop, net::FlowId flow,
+                     net::Address src, net::Address dst,
+                     net::PacketIdAllocator& ids, SendFn send,
+                     Config config)
     : loop_(loop),
       flow_(flow),
       src_(src),
@@ -17,21 +17,39 @@ TcpRenoSender::TcpRenoSender(sim::EventLoop& loop, net::FlowId flow,
       ids_(ids),
       send_(std::move(send)),
       config_(config),
-      cwnd_(config.initial_cwnd) {}
+      cc_(MakeCongestionControl(
+          config.cc, CcConfig{config.mss_bytes, config.header_bytes,
+                              config.initial_cwnd})) {
+  if (config.cc == CcAlgorithm::kBbr) {
+    // Rate-based algorithms enforce their pacing rate through a private
+    // token bucket in front of the egress. Burst of two wire segments keeps
+    // back-to-back pairs legal while spreading the rest of the window over
+    // the RTT; rate starts at 0 (unshaped) until the model has a sample.
+    const std::int64_t wire_bytes = config.mss_bytes + config.header_bytes;
+    TokenBucket::Config pacer_config;
+    pacer_config.rate_bps = 0;
+    pacer_config.burst_bytes = 2 * wire_bytes;
+    pacer_config.queue_capacity_packets =
+        static_cast<std::size_t>(config.max_in_flight) + 16;
+    pacer_ = std::make_unique<TokenBucket>(
+        loop, pacer_config,
+        [this](net::Packet packet) { send_(std::move(packet)); });
+  }
+}
 
-TcpRenoSender::TcpRenoSender(sim::EventLoop& loop, net::FlowId flow,
-                             net::Address src, net::Address dst,
-                             net::PacketIdAllocator& ids, SendFn send)
-    : TcpRenoSender(loop, flow, src, dst, ids, std::move(send), Config{}) {}
+TcpSender::TcpSender(sim::EventLoop& loop, net::FlowId flow,
+                     net::Address src, net::Address dst,
+                     net::PacketIdAllocator& ids, SendFn send)
+    : TcpSender(loop, flow, src, dst, ids, std::move(send), Config{}) {}
 
-TcpRenoSender::~TcpRenoSender() { Stop(); }
+TcpSender::~TcpSender() { Stop(); }
 
-void TcpRenoSender::Start() {
+void TcpSender::Start() {
   running_ = true;
   TrySend();
 }
 
-void TcpRenoSender::Stop() {
+void TcpSender::Stop() {
   running_ = false;
   if (rto_event_ != 0) {
     loop_.Cancel(rto_event_);
@@ -39,9 +57,13 @@ void TcpRenoSender::Stop() {
   }
 }
 
-void TcpRenoSender::TrySend() {
+void TcpSender::SyncPacer() {
+  if (pacer_) pacer_->SetRate(cc_->pacing_rate_bps());
+}
+
+void TcpSender::TrySend() {
   if (!running_) return;
-  const auto window = static_cast<std::int64_t>(cwnd_);
+  const auto window = static_cast<std::int64_t>(cc_->cwnd());
   const std::int64_t in_flight = next_seq_ - high_ack_;
   std::int64_t budget =
       std::min(window, config_.max_in_flight) - in_flight;
@@ -52,7 +74,7 @@ void TcpRenoSender::TrySend() {
   }
 }
 
-void TcpRenoSender::SendSegment(std::int64_t seq, bool retransmission) {
+void TcpSender::SendSegment(std::int64_t seq, bool retransmission) {
   net::Packet packet;
   packet.id = ids_.Next();
   packet.protocol = net::Protocol::kTcp;
@@ -73,11 +95,15 @@ void TcpRenoSender::SendSegment(std::int64_t seq, bool retransmission) {
     rtt_probe_sent_ = loop_.now();
   }
 
-  send_(std::move(packet));
+  if (pacer_) {
+    pacer_->Send(std::move(packet));
+  } else {
+    send_(std::move(packet));
+  }
   if (rto_event_ == 0) ArmRto();
 }
 
-void TcpRenoSender::ArmRto() {
+void TcpSender::ArmRto() {
   if (rto_event_ != 0) loop_.Cancel(rto_event_);
   const sim::Duration timeout =
       std::min(config_.max_rto, rto_ << rto_backoff_);
@@ -89,12 +115,12 @@ void TcpRenoSender::ArmRto() {
   rto_event_ = loop_.ScheduleIn(timeout, "tcp.rto", std::move(fire_rto));
 }
 
-void TcpRenoSender::OnRto() {
+void TcpSender::OnRto() {
   if (!running_) return;
   if (next_seq_ == high_ack_) return;  // nothing outstanding.
   ++timeouts_;
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-  cwnd_ = 1.0;
+  cc_->OnRto(loop_.now());
+  SyncPacer();
   dup_acks_ = 0;
   in_fast_recovery_ = false;
   next_seq_ = high_ack_;  // go-back-N from the hole.
@@ -104,15 +130,14 @@ void TcpRenoSender::OnRto() {
   ArmRto();
 }
 
-void TcpRenoSender::EnterFastRecovery() {
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-  cwnd_ = ssthresh_ + 3.0;
+void TcpSender::EnterFastRecovery() {
+  cc_->OnLoss(loop_.now());
   in_fast_recovery_ = true;
   recovery_point_ = next_seq_;
   SendSegment(high_ack_, /*retransmission=*/true);
 }
 
-void TcpRenoSender::OnAck(const net::Packet& ack) {
+void TcpSender::OnAck(const net::Packet& ack) {
   if (!running_) return;
   if (!ack.tcp.is_ack || ack.flow != flow_) return;
   const std::int64_t ack_seq = ack.tcp.ack;
@@ -132,23 +157,30 @@ void TcpRenoSender::OnAck(const net::Packet& ack) {
       }
       rto_ = std::clamp(srtt_ + 4 * rttvar_, config_.min_rto, config_.max_rto);
       rtt_probe_seq_ = -1;
+      cc_->OnRttSample(sample, loop_.now());
     }
 
+    const std::int64_t newly_acked = ack_seq - high_ack_;
     high_ack_ = ack_seq;
     dup_acks_ = 0;
     if (in_fast_recovery_) {
       if (high_ack_ >= recovery_point_) {
-        cwnd_ = ssthresh_;
+        cc_->OnRecoveryExit(loop_.now());
         in_fast_recovery_ = false;
       } else {
         // Partial ACK (NewReno-style): retransmit the next hole.
         SendSegment(high_ack_, /*retransmission=*/true);
-        cwnd_ = std::max(ssthresh_, cwnd_ - 1.0);
+        cc_->OnPartialAck();
       }
-    } else if (cwnd_ < ssthresh_) {
-      cwnd_ += 1.0;  // slow start.
     } else {
-      cwnd_ += 1.0 / cwnd_;  // congestion avoidance.
+      // Report *wire* in-flight: segments sitting in the pacer's backlog
+      // haven't left the host, and counting them would keep a rate-based
+      // CC's DRAIN state from ever observing in_flight <= BDP.
+      std::int64_t wire_in_flight = next_seq_ - high_ack_;
+      if (pacer_ != nullptr) {
+        wire_in_flight -= static_cast<std::int64_t>(pacer_->backlog());
+      }
+      cc_->OnAck(newly_acked, wire_in_flight, loop_.now());
     }
     if (next_seq_ > high_ack_) {
       ArmRto();
@@ -159,11 +191,12 @@ void TcpRenoSender::OnAck(const net::Packet& ack) {
   } else if (ack_seq == high_ack_ && next_seq_ > high_ack_) {
     ++dup_acks_;
     if (in_fast_recovery_) {
-      cwnd_ += 1.0;  // window inflation.
+      cc_->OnDupAckInRecovery();
     } else if (dup_acks_ == 3) {
       EnterFastRecovery();
     }
   }
+  SyncPacer();
   TrySend();
 }
 

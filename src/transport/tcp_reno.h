@@ -2,11 +2,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 
 #include "net/packet.h"
 #include "sim/event_loop.h"
 #include "sim/time.h"
+#include "transport/congestion_control.h"
+#include "transport/token_bucket.h"
 
 namespace kwikr::transport {
 
@@ -14,12 +17,16 @@ namespace kwikr::transport {
 /// carries it (a wired link, a Wi-Fi station, a token bucket, ...).
 using SendFn = std::function<void(net::Packet)>;
 
-/// Bulk-transfer TCP Reno sender. This is the cross-traffic generator the
-/// paper uses throughout ("congestion in the form of TCP bulk transfers"):
-/// slow start, AIMD congestion avoidance, fast retransmit / fast recovery on
-/// three duplicate ACKs, and RTO with exponential backoff. Sequence numbers
-/// count segments, not bytes.
-class TcpRenoSender {
+/// Bulk-transfer TCP sender. This is the cross-traffic generator the paper
+/// uses throughout ("congestion in the form of TCP bulk transfers"). The
+/// sender owns reliability — sequence numbers, cumulative/duplicate ACK
+/// accounting, fast retransmit on three dup-ACKs, NewReno partial-ACK
+/// retransmission, and RTO with exponential backoff — and delegates window
+/// and pacing-rate evolution to a pluggable CongestionControl (Reno by
+/// default, bit-identical to the original TcpRenoSender; also CUBIC,
+/// Westwood+, and a paced BBR-style model). Sequence numbers count
+/// segments, not bytes.
+class TcpSender {
  public:
   struct Config {
     std::int32_t mss_bytes = 1460;       ///< payload per segment.
@@ -30,17 +37,18 @@ class TcpRenoSender {
     /// after a congestion episode would dominate every experiment window.
     sim::Duration max_rto = sim::Seconds(8);
     std::int64_t max_in_flight = 1'000;  ///< receive-window stand-in.
+    CcAlgorithm cc = CcAlgorithm::kReno;
   };
 
-  TcpRenoSender(sim::EventLoop& loop, net::FlowId flow, net::Address src,
-                net::Address dst, net::PacketIdAllocator& ids, SendFn send,
-                Config config);
-  TcpRenoSender(sim::EventLoop& loop, net::FlowId flow, net::Address src,
-                net::Address dst, net::PacketIdAllocator& ids, SendFn send);
+  TcpSender(sim::EventLoop& loop, net::FlowId flow, net::Address src,
+            net::Address dst, net::PacketIdAllocator& ids, SendFn send,
+            Config config);
+  TcpSender(sim::EventLoop& loop, net::FlowId flow, net::Address src,
+            net::Address dst, net::PacketIdAllocator& ids, SendFn send);
 
-  TcpRenoSender(const TcpRenoSender&) = delete;
-  TcpRenoSender& operator=(const TcpRenoSender&) = delete;
-  ~TcpRenoSender();
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+  ~TcpSender();
 
   /// Begins the bulk transfer (unlimited data).
   void Start();
@@ -50,8 +58,11 @@ class TcpRenoSender {
   /// Feed an incoming ACK packet (tcp.is_ack) to the sender.
   void OnAck(const net::Packet& ack);
 
-  [[nodiscard]] double cwnd() const { return cwnd_; }
-  [[nodiscard]] double ssthresh() const { return ssthresh_; }
+  [[nodiscard]] double cwnd() const { return cc_->cwnd(); }
+  [[nodiscard]] double ssthresh() const { return cc_->ssthresh(); }
+  [[nodiscard]] const CongestionControl& congestion_control() const {
+    return *cc_;
+  }
   [[nodiscard]] std::int64_t segments_acked() const { return high_ack_; }
   [[nodiscard]] std::int64_t retransmissions() const {
     return retransmissions_;
@@ -69,6 +80,7 @@ class TcpRenoSender {
   void ArmRto();
   void OnRto();
   void EnterFastRecovery();
+  void SyncPacer();
 
   sim::EventLoop& loop_;
   net::FlowId flow_;
@@ -78,9 +90,12 @@ class TcpRenoSender {
   SendFn send_;
   Config config_;
 
+  std::unique_ptr<CongestionControl> cc_;
+  /// Pacer for rate-based algorithms (BBR); null for window-only senders so
+  /// the Reno fast path is untouched.
+  std::unique_ptr<TokenBucket> pacer_;
+
   bool running_ = false;
-  double cwnd_;
-  double ssthresh_ = 1e9;
   std::int64_t next_seq_ = 0;   ///< next new segment to send.
   std::int64_t high_ack_ = 0;   ///< cumulative: all segments < high_ack_ acked.
   int dup_acks_ = 0;
@@ -99,7 +114,11 @@ class TcpRenoSender {
   std::int64_t timeouts_ = 0;
 };
 
-/// TCP Reno receiver half: generates cumulative ACKs (one per segment, no
+/// Historical name from before the CongestionControl extraction; every
+/// pre-existing call site constructs a Reno-configured TcpSender.
+using TcpRenoSender = TcpSender;
+
+/// TCP receiver half: generates cumulative ACKs (one per segment, no
 /// delayed ACK) and tracks goodput for rate plots.
 class TcpRenoReceiver {
  public:

@@ -18,6 +18,16 @@ void TokenBucket::Send(net::Packet packet) {
     Forward(std::move(packet));
     return;
   }
+  Refill();
+  if (queue_.empty() &&
+      tokens_bytes_ >= static_cast<double>(packet.size_bytes)) {
+    // Unqueued fast path: spend tokens directly. Same arithmetic as
+    // push-then-Drain, but it also works with queue_capacity_packets == 0
+    // (a pure policer), which previously dropped despite a full bucket.
+    tokens_bytes_ -= static_cast<double>(packet.size_bytes);
+    Forward(std::move(packet));
+    return;
+  }
   if (queue_.size() >= config_.queue_capacity_packets) {
     ++dropped_;
     return;
@@ -63,6 +73,13 @@ void TokenBucket::Drain() {
     queue_.pop_front();
   }
   if (queue_.empty() || drain_event_ != 0) return;
+  if (static_cast<std::int64_t>(queue_.front().size_bytes) >
+      config_.burst_bytes) {
+    // Tokens cap at burst_bytes, so this head can never drain at the
+    // current rate; a wake-up would just reschedule itself forever. The
+    // packet waits for a SetRate (rate 0 flushes; a real rate re-Drains).
+    return;
+  }
   // Wake up when enough tokens have accrued for the head packet.
   const double deficit =
       static_cast<double>(queue_.front().size_bytes) - tokens_bytes_;

@@ -15,7 +15,29 @@ AccessPoint::AccessPoint(Channel& channel, Config config)
     downlink_[ac] = channel_.CreateContender(
         owner_, static_cast<AccessCategory>(ac), params[ac],
         config_.queue_capacity[ac]);
+    qdisc_[ac] = MakeQueueDiscipline(channel_, downlink_[ac], config_.qdisc,
+                                     config_.queue_capacity[ac]);
   }
+  // AQM disciplines need OnTxComplete to trickle the next frame down;
+  // DropTail doesn't, and leaving the feedback slot null preserves the
+  // seed's exact channel fast path.
+  if (config_.qdisc.kind != QdiscKind::kDropTail) BindTxHooks();
+}
+
+void AccessPoint::BindTxHooks() {
+  if (tx_hooks_bound_) return;
+  tx_hooks_bound_ = true;
+  for (int ac = 0; ac < kNumAccessCategories; ++ac) {
+    tx_hooks_[ac] = AcTxHook{this, ac};
+    channel_.SetTxFeedback(
+        downlink_[ac],
+        Channel::TxFeedback::Member<&AcTxHook::OnOutcome>(&tx_hooks_[ac]));
+  }
+}
+
+void AccessPoint::AcTxHook::OnOutcome(const Frame& frame, bool delivered,
+                                      int attempts) {
+  ap->OnDownlinkTxOutcome(ac, frame, delivered, attempts);
 }
 
 void AccessPoint::AttachStation(Station* station) {
@@ -44,17 +66,19 @@ void AccessPoint::SetDownlinkClassifier(DownlinkClassifier classifier) {
 void AccessPoint::EnableRateAdaptation(ArfPolicy::Config config) {
   arf_enabled_ = true;
   arf_config_ = config;
-  for (int ac = 0; ac < kNumAccessCategories; ++ac) {
-    channel_.SetTxFeedback(
-        downlink_[ac],
-        Channel::TxFeedback::Member<&AccessPoint::OnDownlinkTxOutcome>(this));
-  }
+  BindTxHooks();
 }
 
-void AccessPoint::OnDownlinkTxOutcome(const Frame& frame, bool delivered,
-                                      int attempts) {
-  const auto it = arf_.find(frame.packet.dst);
-  if (it != arf_.end()) it->second->OnOutcome(delivered, attempts);
+void AccessPoint::OnDownlinkTxOutcome(int ac, const Frame& frame,
+                                      bool delivered, int attempts) {
+  if (arf_enabled_) {
+    const auto it = arf_.find(frame.packet.dst);
+    if (it != arf_.end()) it->second->OnOutcome(delivered, attempts);
+  }
+  // The head frame left the contender queue: let an AQM discipline top the
+  // hardware queue back up (deferred internally; see the re-entrancy
+  // contract in queue_discipline.h).
+  qdisc_[ac]->OnTxComplete();
 }
 
 const ArfPolicy* AccessPoint::ArfFor(net::Address station) const {
@@ -63,13 +87,14 @@ const ArfPolicy* AccessPoint::ArfFor(net::Address station) const {
 }
 
 std::size_t AccessPoint::DownlinkQueueLength(AccessCategory ac) const {
-  return channel_.QueueLength(downlink_[Index(ac)]);
+  return channel_.QueueLength(downlink_[Index(ac)]) +
+         qdisc_[Index(ac)]->backlog();
 }
 
 std::size_t AccessPoint::TotalDownlinkQueueLength() const {
   std::size_t total = 0;
   for (int ac = 0; ac < kNumAccessCategories; ++ac) {
-    total += channel_.QueueLength(downlink_[ac]);
+    total += channel_.QueueLength(downlink_[ac]) + qdisc_[ac]->backlog();
   }
   return total;
 }
@@ -77,13 +102,15 @@ std::size_t AccessPoint::TotalDownlinkQueueLength() const {
 std::uint64_t AccessPoint::downlink_queue_drops() const {
   std::uint64_t total = 0;
   for (int ac = 0; ac < kNumAccessCategories; ++ac) {
-    total += channel_.QueueDrops(downlink_[ac]);
+    total += channel_.QueueDrops(downlink_[ac]) +
+             qdisc_[ac]->overflow_drops();
   }
   return total;
 }
 
 std::uint64_t AccessPoint::DownlinkQueueDrops(AccessCategory ac) const {
-  return channel_.QueueDrops(downlink_[Index(ac)]);
+  return channel_.QueueDrops(downlink_[Index(ac)]) +
+         qdisc_[Index(ac)]->overflow_drops();
 }
 
 std::uint64_t AccessPoint::DownlinkRetryDrops(AccessCategory ac) const {
@@ -148,9 +175,10 @@ void AccessPoint::EnqueueDownlink(net::Packet&& packet) {
     rate_bps = station->rate_bps();
   }
   // Prvalue Frame: elided into Enqueue's parameter and moved straight into
-  // the ring cell — one Frame copy end to end, not three.
-  channel_.Enqueue(downlink_[Index(ac)],
-                   Frame{std::move(packet), station->owner(), rate_bps});
+  // the ring cell — one Frame copy end to end, not three. DropTail forwards
+  // this to the contender unchanged; AQM disciplines stamp and buffer it.
+  qdisc_[Index(ac)]->Enqueue(
+      Frame{std::move(packet), station->owner(), rate_bps});
 }
 
 }  // namespace kwikr::wifi

@@ -9,6 +9,7 @@
 #include "net/packet.h"
 #include "wifi/channel.h"
 #include "wifi/edca.h"
+#include "wifi/queue_discipline.h"
 #include "wifi/rate_adaptation.h"
 #include "wifi/rate_table.h"
 
@@ -32,6 +33,10 @@ class AccessPoint {
     /// Per-AC downlink queue capacity in frames (BK, BE, VI, VO).
     std::array<std::size_t, kNumAccessCategories> queue_capacity = {64, 150,
                                                                     64, 64};
+    /// Downlink queue discipline, applied to every AC. DropTail keeps the
+    /// seed fast path (frames go straight into the contender ring); CoDel /
+    /// FQ-CoDel buffer in the discipline and trickle-feed the contender.
+    QdiscConfig qdisc;
   };
 
   AccessPoint(Channel& channel, Config config);
@@ -82,10 +87,16 @@ class AccessPoint {
 
   [[nodiscard]] std::uint64_t downlink_queue_drops() const;
   /// Per-AC observability accessors: tail drops, retry-limit drops, and
-  /// frames delivered on one downlink queue.
+  /// frames delivered on one downlink queue. Queue drops include the
+  /// discipline's overflow drops (for DropTail those are the contender
+  /// ring's tail drops, exactly as before).
   [[nodiscard]] std::uint64_t DownlinkQueueDrops(AccessCategory ac) const;
   [[nodiscard]] std::uint64_t DownlinkRetryDrops(AccessCategory ac) const;
   [[nodiscard]] std::uint64_t DownlinkDelivered(AccessCategory ac) const;
+  /// The queue discipline serving one downlink AC (stats + sojourn sketch).
+  [[nodiscard]] const QueueDiscipline& DownlinkQdisc(AccessCategory ac) const {
+    return *qdisc_[Index(ac)];
+  }
   [[nodiscard]] std::uint64_t unroutable_drops() const {
     return unroutable_drops_;
   }
@@ -100,14 +111,31 @@ class AccessPoint {
   [[nodiscard]] Channel& channel() { return channel_; }
 
  private:
+  /// Per-AC TxFeedback shim: Channel's feedback hook carries no AC, so each
+  /// AC binds its own little member-function target that forwards with its
+  /// index. One hook fans out to rate adaptation and the queue discipline.
+  struct AcTxHook {
+    AccessPoint* ap = nullptr;
+    int ac = 0;
+    void OnOutcome(const Frame& frame, bool delivered, int attempts);
+  };
+
   void OnUplinkFrame(Frame&& frame);
-  void OnDownlinkTxOutcome(const Frame& frame, bool delivered, int attempts);
+  void OnDownlinkTxOutcome(int ac, const Frame& frame, bool delivered,
+                           int attempts);
   void EnqueueDownlink(net::Packet&& packet);
+  /// Binds the per-AC TxFeedback hooks (idempotent). Done eagerly for AQM
+  /// disciplines, lazily by EnableRateAdaptation for the DropTail path so
+  /// the seed configuration leaves the feedback slot null, as before.
+  void BindTxHooks();
 
   Channel& channel_;
   Config config_;
   OwnerId owner_;
   std::array<ContenderId, kNumAccessCategories> downlink_;
+  std::array<std::unique_ptr<QueueDiscipline>, kNumAccessCategories> qdisc_;
+  std::array<AcTxHook, kNumAccessCategories> tx_hooks_;
+  bool tx_hooks_bound_ = false;
   std::unordered_map<net::Address, Station*> stations_;
   std::function<void(net::Packet)> wan_forwarder_;
   DownlinkClassifier downlink_classifier_;

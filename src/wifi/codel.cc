@@ -1,0 +1,75 @@
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/frame_ring.h"
+#include "wifi/qdisc_internal.h"
+#include "wifi/queue_discipline.h"
+
+namespace kwikr::wifi {
+namespace {
+
+/// CoDel (RFC 8289) over a single FIFO: frames queue in arrival order, and
+/// the dequeue path drops from the head — at a rate that increases as
+/// sqrt(count) — while the head sojourn time has stayed above target for a
+/// full interval. Unlike drop-tail it pushes back on *standing* queues
+/// specifically, which is exactly the component Ping-Pair's Tq measures.
+class CoDelQdisc final : public detail::AqmQdiscBase {
+ public:
+  CoDelQdisc(Channel& channel, ContenderId contender, QdiscConfig config,
+             std::size_t capacity_frames)
+      : AqmQdiscBase(channel, contender, config, capacity_frames),
+        ring_(capacity_frames) {}
+
+  [[nodiscard]] std::size_t backlog() const override { return ring_.size(); }
+  [[nodiscard]] const char* name() const override { return "codel"; }
+
+ protected:
+  void Admit(detail::Entry&& entry) override {
+    const std::int64_t bytes = entry.frame.packet.size_bytes;
+    if (!ring_.push_back(std::move(entry))) {
+      ++overflow_drops_;  // push_back refused: entry untouched, frame lost.
+      return;
+    }
+    backlog_bytes_ += bytes;
+  }
+
+  std::optional<detail::Entry> Dequeue(sim::Time now) override {
+    return codel_.Dequeue(
+        now, config_.target, config_.interval, kMtuBytes,
+        [this]() -> std::optional<detail::Entry> {
+          if (ring_.empty()) return std::nullopt;
+          detail::Entry entry = std::move(ring_.front());
+          ring_.pop_front();
+          backlog_bytes_ -= entry.frame.packet.size_bytes;
+          return entry;
+        },
+        [this] { return backlog_bytes_; },
+        [this](detail::Entry&& dropped) {
+          ++aqm_drops_;
+          sojourn_ms_.Add(sim::ToMillis(channel_.loop().now() -
+                                        dropped.enqueued_at));
+        });
+  }
+
+ private:
+  static constexpr std::int64_t kMtuBytes = 1514;
+
+  sim::FrameRing<detail::Entry> ring_;
+  std::int64_t backlog_bytes_ = 0;
+  detail::CodelState codel_;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<QueueDiscipline> MakeCoDelQdisc(Channel& channel,
+                                                ContenderId contender,
+                                                QdiscConfig config,
+                                                std::size_t capacity_frames) {
+  return std::make_unique<CoDelQdisc>(channel, contender, config,
+                                      capacity_frames);
+}
+}  // namespace detail
+
+}  // namespace kwikr::wifi

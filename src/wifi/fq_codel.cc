@@ -1,0 +1,169 @@
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/frame_ring.h"
+#include "wifi/qdisc_internal.h"
+#include "wifi/queue_discipline.h"
+
+namespace kwikr::wifi {
+namespace {
+
+/// SplitMix64 finalizer: the same mixing function sim::Rng::Fork uses for
+/// stream derivation, reused here to spread (flow, src, dst) over buckets.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// FQ-CoDel (RFC 8290): hash flows into buckets, serve buckets with
+/// deficit-round-robin (new flows get priority for one quantum — the
+/// "sparse flow" boost that keeps a ping fast under a bulk transfer), and
+/// run an independent CoDel instance per bucket. Overflow drops from the
+/// fattest bucket, so a single greedy flow cannot evict everyone else —
+/// the flow-isolation property that should *decouple* Ping-Pair's probe
+/// delay from cross-traffic queue depth.
+class FqCoDelQdisc final : public detail::AqmQdiscBase {
+ public:
+  FqCoDelQdisc(Channel& channel, ContenderId contender, QdiscConfig config,
+               std::size_t capacity_frames)
+      : AqmQdiscBase(channel, contender, config, capacity_frames),
+        flows_(config.flows == 0 ? 1 : config.flows) {}
+
+  [[nodiscard]] std::size_t backlog() const override {
+    return total_frames_;
+  }
+  [[nodiscard]] const char* name() const override { return "fq_codel"; }
+
+ protected:
+  void Admit(detail::Entry&& entry) override {
+    const std::uint32_t index = Bucket(entry.frame.packet);
+    Flow& flow = flows_[index];
+    const std::int64_t bytes = entry.frame.packet.size_bytes;
+    if (!flow.ring.push_back(std::move(entry))) {
+      ++overflow_drops_;
+      return;
+    }
+    flow.backlog_bytes += bytes;
+    ++total_frames_;
+    if (flow.membership == Flow::kNone) {
+      flow.deficit = config_.quantum_bytes;
+      flow.membership = Flow::kNew;
+      new_flows_.push_back(index);
+    }
+    if (total_frames_ > capacity_) DropFromFattestFlow();
+  }
+
+  std::optional<detail::Entry> Dequeue(sim::Time now) override {
+    while (true) {
+      std::deque<std::uint32_t>* list =
+          !new_flows_.empty() ? &new_flows_ : &old_flows_;
+      if (list->empty()) return std::nullopt;
+      const std::uint32_t index = list->front();
+      Flow& flow = flows_[index];
+      if (flow.deficit <= 0) {
+        // Quantum exhausted: replenish and rotate to the old-flows tail.
+        flow.deficit += config_.quantum_bytes;
+        list->pop_front();
+        flow.membership = Flow::kOld;
+        old_flows_.push_back(index);
+        continue;
+      }
+      auto entry = CodelDequeue(flow, now);
+      if (!entry) {
+        // Bucket drained. A new flow demotes to the old list (it loses its
+        // sparse-flow boost); an old flow leaves the rotation entirely.
+        list->pop_front();
+        if (flow.membership == Flow::kNew) {
+          flow.membership = Flow::kOld;
+          old_flows_.push_back(index);
+        } else {
+          flow.membership = Flow::kNone;
+        }
+        continue;
+      }
+      flow.deficit -= entry->frame.packet.size_bytes;
+      return entry;
+    }
+  }
+
+ private:
+  struct Flow {
+    enum Membership : std::uint8_t { kNone, kNew, kOld };
+
+    sim::FrameRing<detail::Entry> ring;
+    detail::CodelState codel;
+    std::int64_t deficit = 0;
+    std::int64_t backlog_bytes = 0;
+    Membership membership = kNone;
+  };
+
+  static constexpr std::int64_t kMtuBytes = 1514;
+
+  [[nodiscard]] std::uint32_t Bucket(const net::Packet& packet) const {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(packet.flow) << 32) ^
+        (static_cast<std::uint64_t>(packet.src) << 16) ^
+        static_cast<std::uint64_t>(packet.dst);
+    return static_cast<std::uint32_t>(Mix64(key ^ config_.hash_seed) %
+                                      flows_.size());
+  }
+
+  std::optional<detail::Entry> CodelDequeue(Flow& flow, sim::Time now) {
+    return flow.codel.Dequeue(
+        now, config_.target, config_.interval, kMtuBytes,
+        [this, &flow]() -> std::optional<detail::Entry> {
+          return PopFlow(flow);
+        },
+        [&flow] { return flow.backlog_bytes; },
+        [this](detail::Entry&& dropped) {
+          ++aqm_drops_;
+          sojourn_ms_.Add(sim::ToMillis(channel_.loop().now() -
+                                        dropped.enqueued_at));
+        });
+  }
+
+  std::optional<detail::Entry> PopFlow(Flow& flow) {
+    if (flow.ring.empty()) return std::nullopt;
+    detail::Entry entry = std::move(flow.ring.front());
+    flow.ring.pop_front();
+    flow.backlog_bytes -= entry.frame.packet.size_bytes;
+    --total_frames_;
+    return entry;
+  }
+
+  void DropFromFattestFlow() {
+    std::size_t fattest = 0;
+    std::int64_t fattest_bytes = -1;
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (flows_[i].backlog_bytes > fattest_bytes) {
+        fattest_bytes = flows_[i].backlog_bytes;
+        fattest = i;
+      }
+    }
+    if (auto victim = PopFlow(flows_[fattest])) ++overflow_drops_;
+  }
+
+  std::vector<Flow> flows_;
+  std::deque<std::uint32_t> new_flows_;
+  std::deque<std::uint32_t> old_flows_;
+  std::size_t total_frames_ = 0;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<QueueDiscipline> MakeFqCoDelQdisc(Channel& channel,
+                                                  ContenderId contender,
+                                                  QdiscConfig config,
+                                                  std::size_t capacity_frames) {
+  return std::make_unique<FqCoDelQdisc>(channel, contender, config,
+                                        capacity_frames);
+}
+}  // namespace detail
+
+}  // namespace kwikr::wifi

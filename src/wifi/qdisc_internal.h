@@ -1,0 +1,168 @@
+#pragma once
+
+// Internal machinery shared by the AQM queue disciplines (codel.cc,
+// fq_codel.cc): the timestamped buffer entry, the hardware-queue trickle
+// base class, and the RFC 8289 CoDel dropping state machine.
+
+#include <cmath>
+#include <optional>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+#include "wifi/queue_discipline.h"
+
+namespace kwikr::wifi::detail {
+
+/// wifi::Frame must stay trivially copyable and within the InlineTask size
+/// budget, so the sojourn timestamp AQM needs lives here, in qdisc-internal
+/// storage, not on the Frame itself.
+struct Entry {
+  Frame frame;
+  sim::Time enqueued_at = 0;
+};
+
+/// Base for buffering disciplines: keeps at most hw_limit frames down in
+/// the channel contender queue and tops it up as transmissions complete.
+/// The refill after OnTxComplete is deferred through a zero-delay event
+/// because TxFeedback fires while the contender ring's front() reference is
+/// live (see QueueDiscipline's re-entrancy contract); the refill from
+/// Enqueue is synchronous, as AP ingress runs in plain event context.
+class AqmQdiscBase : public QueueDiscipline {
+ public:
+  using QueueDiscipline::QueueDiscipline;
+
+  void Enqueue(Frame&& frame) final {
+    ++enqueued_;
+    Admit(Entry{std::move(frame), channel_.loop().now()});
+    Refill();
+  }
+
+  void OnTxComplete() final {
+    if (in_hw_ > 0) --in_hw_;
+    if (refill_pending_) return;
+    refill_pending_ = true;
+    channel_.loop().ScheduleAt(channel_.loop().now(), "wifi.qdisc_refill",
+                               [this] {
+                                 refill_pending_ = false;
+                                 Refill();
+                               });
+  }
+
+ protected:
+  /// Buffers the entry (dropping for overflow as the discipline dictates).
+  virtual void Admit(Entry&& entry) = 0;
+  /// Next frame to transmit after AQM drop decisions; nullopt = empty.
+  virtual std::optional<Entry> Dequeue(sim::Time now) = 0;
+
+  void Refill() {
+    while (in_hw_ < config_.hw_limit) {
+      auto entry = Dequeue(channel_.loop().now());
+      if (!entry) break;
+      sojourn_ms_.Add(sim::ToMillis(channel_.loop().now() - entry->enqueued_at));
+      if (Feed(std::move(entry->frame))) {
+        ++in_hw_;
+      } else {
+        ++overflow_drops_;  // contender ring full (hw_limit misconfigured).
+      }
+    }
+  }
+
+ private:
+  std::size_t in_hw_ = 0;
+  bool refill_pending_ = false;
+};
+
+/// RFC 8289 CoDel dropping state for one queue. The queue itself is owned
+/// by the caller and accessed through callables so both the single-queue
+/// CoDel discipline and FQ-CoDel's per-flow queues reuse the same control
+/// law:
+///   pop()           -> std::optional<Entry>   removes + returns the head
+///   backlog_bytes() -> std::int64_t           bytes still queued
+///   drop(Entry&&)                             counts an AQM drop
+struct CodelState {
+  sim::Time first_above = 0;  ///< 0 = sojourn not persistently above target.
+  sim::Time drop_next = 0;
+  std::uint32_t count = 0;
+  std::uint32_t last_count = 0;
+  bool dropping = false;
+
+  static sim::Time ControlLaw(sim::Time t, sim::Duration interval,
+                              std::uint32_t count) {
+    return t + static_cast<sim::Duration>(
+                   static_cast<double>(interval) /
+                   std::sqrt(static_cast<double>(count)));
+  }
+
+  template <typename PopFn, typename BacklogBytesFn, typename DropFn>
+  std::optional<Entry> Dequeue(sim::Time now, sim::Duration target,
+                               sim::Duration interval,
+                               std::int64_t mtu_bytes, PopFn&& pop,
+                               BacklogBytesFn&& backlog_bytes,
+                               DropFn&& drop) {
+    bool ok_to_drop = false;
+    auto dodequeue = [&]() -> std::optional<Entry> {
+      auto entry = pop();
+      if (!entry) {
+        first_above = 0;
+        ok_to_drop = false;
+        return entry;
+      }
+      const sim::Duration sojourn = now - entry->enqueued_at;
+      if (sojourn < target || backlog_bytes() <= mtu_bytes) {
+        // Below target (or the queue can drain within a frame): leave the
+        // dropping window.
+        first_above = 0;
+        ok_to_drop = false;
+      } else if (first_above == 0) {
+        first_above = now + interval;
+        ok_to_drop = false;
+      } else {
+        ok_to_drop = now >= first_above;
+      }
+      return entry;
+    };
+
+    auto entry = dodequeue();
+    if (!entry) {
+      dropping = false;
+      return entry;
+    }
+    if (dropping) {
+      if (!ok_to_drop) {
+        dropping = false;
+      } else {
+        while (dropping && now >= drop_next) {
+          ++count;
+          drop(std::move(*entry));
+          entry = dodequeue();
+          if (!entry) {
+            dropping = false;
+            return entry;
+          }
+          if (!ok_to_drop) {
+            dropping = false;
+          } else {
+            drop_next = ControlLaw(drop_next, interval, count);
+          }
+        }
+      }
+    } else if (ok_to_drop) {
+      // Enter the dropping state with the re-entry shortcut: resume near
+      // the drop rate that last controlled the queue.
+      drop(std::move(*entry));
+      entry = dodequeue();
+      if (!entry) {
+        dropping = false;
+        return entry;
+      }
+      dropping = true;
+      const std::uint32_t delta = count - last_count;
+      count = (delta > 1 && now - drop_next < 16 * interval) ? delta : 1;
+      last_count = count;
+      drop_next = ControlLaw(now, interval, count);
+    }
+    return entry;
+  }
+};
+
+}  // namespace kwikr::wifi::detail

@@ -1,0 +1,82 @@
+#include "wifi/queue_discipline.h"
+
+#include <memory>
+#include <utility>
+
+namespace kwikr::wifi {
+
+namespace detail {
+std::unique_ptr<QueueDiscipline> MakeCoDelQdisc(Channel& channel,
+                                                ContenderId contender,
+                                                QdiscConfig config,
+                                                std::size_t capacity_frames);
+std::unique_ptr<QueueDiscipline> MakeFqCoDelQdisc(Channel& channel,
+                                                  ContenderId contender,
+                                                  QdiscConfig config,
+                                                  std::size_t capacity_frames);
+}  // namespace detail
+
+const char* Name(QdiscKind kind) {
+  switch (kind) {
+    case QdiscKind::kDropTail:
+      return "droptail";
+    case QdiscKind::kCoDel:
+      return "codel";
+    case QdiscKind::kFqCoDel:
+      return "fq_codel";
+  }
+  return "unknown";
+}
+
+bool ParseQdiscKind(std::string_view text, QdiscKind* out) {
+  if (text == "droptail") {
+    *out = QdiscKind::kDropTail;
+  } else if (text == "codel") {
+    *out = QdiscKind::kCoDel;
+  } else if (text == "fq_codel" || text == "fq-codel" || text == "fqcodel") {
+    *out = QdiscKind::kFqCoDel;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// The seed behaviour: forward straight into the contender ring, which
+/// already implements bounded-FIFO tail drop. No buffering, no timestamps,
+/// no events — the frame takes exactly the code path it took before the
+/// QueueDiscipline extraction, so Reno-over-DropTail runs stay
+/// byte-identical.
+class DropTailQdisc final : public QueueDiscipline {
+ public:
+  using QueueDiscipline::QueueDiscipline;
+
+  void Enqueue(Frame&& frame) override {
+    ++enqueued_;
+    Feed(std::move(frame));  // false = contender counted a tail drop.
+  }
+
+  [[nodiscard]] const char* name() const override { return "droptail"; }
+};
+
+}  // namespace
+
+std::unique_ptr<QueueDiscipline> MakeQueueDiscipline(
+    Channel& channel, ContenderId contender, QdiscConfig config,
+    std::size_t capacity_frames) {
+  switch (config.kind) {
+    case QdiscKind::kCoDel:
+      return detail::MakeCoDelQdisc(channel, contender, config,
+                                    capacity_frames);
+    case QdiscKind::kFqCoDel:
+      return detail::MakeFqCoDelQdisc(channel, contender, config,
+                                      capacity_frames);
+    case QdiscKind::kDropTail:
+      break;
+  }
+  return std::make_unique<DropTailQdisc>(channel, contender, config,
+                                         capacity_frames);
+}
+
+}  // namespace kwikr::wifi

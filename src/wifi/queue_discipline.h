@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sim/time.h"
+#include "stats/histogram.h"
+#include "wifi/channel.h"
+
+namespace kwikr::wifi {
+
+/// Queue disciplines for the AP downlink (the paper's bottleneck). DropTail
+/// is the seed behaviour; CoDel and FQ-CoDel are the 2026 bottleneck the
+/// CC×qdisc grid interrogates.
+enum class QdiscKind : std::uint8_t {
+  kDropTail,  ///< bounded FIFO, tail drop (byte-identical to the seed).
+  kCoDel,     ///< sojourn-time AQM (RFC 8289).
+  kFqCoDel,   ///< DRR flow isolation + per-flow CoDel (RFC 8290).
+};
+
+/// Schedule name of a discipline ("droptail", "codel", "fq_codel").
+const char* Name(QdiscKind kind);
+
+/// Parses a schedule name (accepts "fq_codel", "fq-codel", "fqcodel").
+bool ParseQdiscKind(std::string_view text, QdiscKind* out);
+
+struct QdiscConfig {
+  QdiscKind kind = QdiscKind::kDropTail;
+  sim::Duration target = sim::Millis(5);      ///< CoDel sojourn target.
+  sim::Duration interval = sim::Millis(100);  ///< CoDel sliding interval.
+  std::uint32_t flows = 64;          ///< FQ-CoDel hash buckets.
+  std::int64_t quantum_bytes = 1514; ///< FQ-CoDel DRR quantum (one MTU).
+  /// FQ hash perturbation. Derive from sim::Rng::Fork (scenario layer does)
+  /// so fleet-sharded runs stay bit-identical; never seed from wall clock.
+  std::uint64_t hash_seed = 0;
+  /// AQM disciplines keep at most this many frames down in the channel
+  /// contender ("hardware") queue; the rest wait in the qdisc where sojourn
+  /// time is measured. Two keeps the contender busy with no airtime gap.
+  std::size_t hw_limit = 2;
+};
+
+/// Interface over the AP downlink enqueue path of one access category.
+///
+/// The discipline sits between TOS classification and the channel contender
+/// queue. DropTail forwards straight through (no buffering, no events — the
+/// seed fast path, byte-identical). AQM disciplines buffer frames in their
+/// own sim::FrameRing storage, feed the contender a trickle of hw_limit
+/// frames, and decide drops from sojourn time at dequeue.
+///
+/// Re-entrancy contract: OnTxComplete is invoked from inside the channel's
+/// TxFeedback dispatch, where the contender ring's front() reference is
+/// live — implementations must NOT call Channel::Enqueue synchronously from
+/// it (a ring Grow() would dangle that reference). Defer via a scheduled
+/// event; see AqmQdiscBase.
+class QueueDiscipline {
+ public:
+  QueueDiscipline(Channel& channel, ContenderId contender, QdiscConfig config,
+                  std::size_t capacity_frames)
+      : channel_(channel),
+        contender_(contender),
+        config_(config),
+        capacity_(capacity_frames),
+        sojourn_ms_(stats::Histogram::Config{0.0, 1000.0, 256}) {}
+
+  QueueDiscipline(const QueueDiscipline&) = delete;
+  QueueDiscipline& operator=(const QueueDiscipline&) = delete;
+  virtual ~QueueDiscipline() = default;
+
+  /// A classified downlink frame. Must not be called from inside a channel
+  /// hook (the AP's ingress paths are event contexts, which is fine).
+  virtual void Enqueue(Frame&& frame) = 0;
+
+  /// One frame left the head of this contender's channel queue (delivered
+  /// or retry-dropped). Called from TxFeedback — see re-entrancy contract.
+  virtual void OnTxComplete() {}
+
+  /// Frames buffered inside the discipline (excludes the channel queue).
+  [[nodiscard]] virtual std::size_t backlog() const { return 0; }
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Frames accepted from the classifier.
+  [[nodiscard]] std::uint64_t enqueued() const { return enqueued_; }
+  /// Frames handed to the channel contender.
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  /// Frames dropped by the AQM control law (sojourn above target).
+  [[nodiscard]] std::uint64_t aqm_drops() const { return aqm_drops_; }
+  /// Frames dropped because the discipline's buffer was full.
+  [[nodiscard]] std::uint64_t overflow_drops() const {
+    return overflow_drops_;
+  }
+  /// Sojourn time (ms) spent inside the discipline, recorded at dequeue.
+  [[nodiscard]] const stats::Histogram& sojourn_ms() const {
+    return sojourn_ms_;
+  }
+
+ protected:
+  /// Hands a frame to the channel contender; false = contender ring full.
+  bool Feed(Frame&& frame) {
+    if (!channel_.Enqueue(contender_, std::move(frame))) return false;
+    ++forwarded_;
+    return true;
+  }
+
+  Channel& channel_;
+  const ContenderId contender_;
+  const QdiscConfig config_;
+  const std::size_t capacity_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t aqm_drops_ = 0;
+  std::uint64_t overflow_drops_ = 0;
+  stats::Histogram sojourn_ms_;
+};
+
+/// Builds the configured discipline over (channel, contender).
+/// `capacity_frames` is the AC's queue bound: for DropTail it is enforced by
+/// the contender ring exactly as before; AQM disciplines enforce it on their
+/// internal buffer instead. Never returns null.
+std::unique_ptr<QueueDiscipline> MakeQueueDiscipline(
+    Channel& channel, ContenderId contender, QdiscConfig config,
+    std::size_t capacity_frames);
+
+}  // namespace kwikr::wifi
