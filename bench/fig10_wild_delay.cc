@@ -5,6 +5,8 @@
 // production study covered 119,789 calls — we scale the population down and
 // keep the statistic definitions identical).
 #include <algorithm>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -12,6 +14,18 @@
 #include "scenario/wild_population.h"
 
 using namespace kwikr;
+
+namespace {
+
+/// Population timeline: per-call JSONL concatenated in index order, which
+/// makes the bytes independent of --jobs (each line carries "call":N).
+std::string ConcatTimelines(const scenario::WildResults& results) {
+  std::string out;
+  for (const auto& call : results.calls) out += call.timeline_jsonl;
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::Header("Figure 10 — Wi-Fi downlink delay in the wild",
@@ -29,6 +43,14 @@ int main(int argc, char** argv) {
   // simulated quantity, so the export is bit-identical for any --jobs.
   obs::MetricsRegistry registry;
   if (bench::MetricsRequested(argc, argv)) config.metrics = &registry;
+
+  // --timeline-out: sim-time series sampling on every Kwikr arm, written as
+  // one JSONL file for the whole population (bit-identical for any --jobs).
+  const char* timeline_out =
+      bench::ParseStringFlag(argc, argv, "--timeline-out");
+  config.timeline = timeline_out != nullptr;
+  config.timeline_interval = sim::Millis(
+      bench::ParseIntFlag(argc, argv, "--timeline-interval-ms", 10));
 
   bench::WallTimer timer;
   const scenario::WildResults results = scenario::RunWildPopulation(config);
@@ -102,12 +124,32 @@ int main(int argc, char** argv) {
                            })
                     ? "byte-identical to"
                     : "DIVERGE from");
+    if (config.timeline) {
+      std::printf("timeline determinism: jobs=%d timeline %s jobs=1 "
+                  "timeline\n",
+                  config.jobs,
+                  ConcatTimelines(results) == ConcatTimelines(serial_results)
+                      ? "byte-identical to"
+                      : "DIVERGES from");
+    }
   }
   std::uint64_t events_executed = 0;
   for (const auto& call : results.calls) events_executed += call.events_executed;
   bench::PrintFleetTiming("fig10_wild_delay", config.jobs, wall_ms,
                           config.calls, serial_wall_ms, events_executed);
   bench::ExportMetrics(argc, argv, registry);
+
+  if (timeline_out != nullptr) {
+    const std::string timeline = ConcatTimelines(results);
+    std::ofstream out(timeline_out, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out << timeline;
+      std::printf("timeline: wrote %zu bytes to %s\n", timeline.size(),
+                  timeline_out);
+    } else {
+      std::fprintf(stderr, "timeline: cannot write %s\n", timeline_out);
+    }
+  }
 
   // KWIKR_TRACE_DIR: Chrome-trace one example call (the Kwikr arm of the
   // first environment's configuration) rather than the whole population.

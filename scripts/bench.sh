@@ -13,6 +13,10 @@
 #       (simulated events/sec inside a full scenario, wall time, peak RSS),
 #       plus a byte-identity check of --metrics-out between --jobs 1 and
 #       --jobs 8: the scheduler rewrite must never change simulated results.
+#       A second record ("fig10_wild_delay_timeline") repeats the sweep with
+#       10 ms timeline sampling on, so the committed trajectory tracks the
+#       sampler's events/sec overhead against the sampling-off number; the
+#       timeline bytes are also compared between --jobs 1 and --jobs 8.
 #
 # Usage: scripts/bench.sh [--quick] [--no-fig10]
 #   --quick     shrink the micro workload (CI smoke; not for committing).
@@ -69,6 +73,25 @@ if [[ "$run_fig10" == 1 ]]; then
   # prints) becomes the committed trajectory baseline.
   grep '^{"bench":"fig10_wild_delay"' "$tmp/fig10_j8.out" | tail -1 \
     > BENCH_fig10.json
+
+  echo "== fig10 + 10 ms timeline sampling (sampler overhead record) =="
+  "$fig10" --calls 150 --jobs 1 --timeline-out "$tmp/timeline_j1.jsonl" \
+    > /dev/null
+  "$fig10" --calls 150 --jobs 8 --timeline-out "$tmp/timeline_j8.jsonl" \
+    | tee "$tmp/fig10_tl_j8.out"
+
+  echo "== determinism: --timeline-out must be byte-identical across --jobs =="
+  if ! cmp "$tmp/timeline_j1.jsonl" "$tmp/timeline_j8.jsonl"; then
+    echo "FAIL: fig10 timeline differs between --jobs 1 and --jobs 8" >&2
+    exit 1
+  fi
+  echo "fig10 timeline byte-identical between --jobs 1 and --jobs 8"
+
+  # Second trajectory record: same sweep with the sampler attached. The
+  # events/sec delta against the first record is the sampling overhead.
+  grep '^{"bench":"fig10_wild_delay"' "$tmp/fig10_tl_j8.out" | tail -1 \
+    | sed 's/"bench":"fig10_wild_delay"/"bench":"fig10_wild_delay_timeline"/' \
+    >> BENCH_fig10.json
 fi
 
 echo "== results =="

@@ -3,10 +3,12 @@
 #   1. tier-1: configure + build + full ctest in ./build
 #   2. tsan: rebuild the concurrency-sensitive suites under ThreadSanitizer
 #      (-DKWIKR_SANITIZE=thread) and run `ctest -L obs` + `ctest -L faults`
-#      + `ctest -L frame_path` + `ctest -L cc_aqm` (registry merge paths,
-#      fleet sharding, the golden corpus whose byte-stability depends on
-#      worker-count independence, the frame-path primitives the sharded runs
-#      lean on, and the CC x qdisc grid that rides the same fleet).
+#      + `ctest -L frame_path` + `ctest -L cc_aqm` + `ctest -L timeline`
+#      (registry merge paths, fleet sharding, the golden corpus whose
+#      byte-stability depends on worker-count independence, the frame-path
+#      primitives the sharded runs lean on, the CC x qdisc grid that rides
+#      the same fleet, and the timeline telemetry whose population
+#      byte-identity runs worker-local samplers in parallel).
 #   3. perf: Release-mode micro_eventloop + micro_channel smoke against the
 #      committed BENCH_eventloop.json / BENCH_channel.json — fails when the
 #      headline throughput regresses more than 20% or the dispatch / frame
@@ -83,11 +85,12 @@ step_tsan() {
   ensure_build_dir build-tsan "" thread
   cmake --build build-tsan -j "$jobs" \
     --target obs_test fleet_test faults_test frame_path_test cc_aqm_test \
-    golden_runner
+    timeline_test golden_runner
   ctest --test-dir build-tsan -L obs --output-on-failure -j "$jobs"
   ctest --test-dir build-tsan -L faults --output-on-failure -j "$jobs"
   ctest --test-dir build-tsan -L frame_path --output-on-failure -j "$jobs"
   ctest --test-dir build-tsan -L cc_aqm --output-on-failure -j "$jobs"
+  ctest --test-dir build-tsan -L timeline --output-on-failure -j "$jobs"
 }
 
 step_bench() {

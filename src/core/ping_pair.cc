@@ -56,6 +56,10 @@ void PingPairProber::StartRound() {
     auto it = rounds_.find(id);
     if (it == rounds_.end()) return;
     ++stats_.timeouts;
+    if (recorder_ != nullptr) {
+      recorder_->Record(loop_.now(), obs::FlightEventKind::kProbeDiscard, 0,
+                        id, "timeout");
+    }
     rounds_.erase(it);
   };
   static_assert(sim::InlineTask::fits_inline<decltype(expire)>);
@@ -153,6 +157,10 @@ void PingPairProber::MaybeComplete(std::uint64_t round_id) {
   if (!round.dual) {
     if (!est0) {
       ++stats_.wrong_order;
+      if (recorder_ != nullptr) {
+        recorder_->Record(loop_.now(), obs::FlightEventKind::kProbeDiscard, 0,
+                          round.id, "wrong_order");
+      }
     } else {
       EmitSample(round, *est0, round.ping[0][1].arrival,
                  round.ping[0][0].arrival);
@@ -164,6 +172,10 @@ void PingPairProber::MaybeComplete(std::uint64_t round_id) {
   const auto est1 = PairEstimate(round, 1);
   if (!est0 || !est1) {
     ++stats_.wrong_order;
+    if (recorder_ != nullptr) {
+      recorder_->Record(loop_.now(), obs::FlightEventKind::kProbeDiscard, 0,
+                        round.id, "wrong_order");
+    }
     rounds_.erase(it);
     return;
   }
@@ -176,12 +188,20 @@ void PingPairProber::MaybeComplete(std::uint64_t round_id) {
   if (high_gap > config_.dual_gap_threshold ||
       normal_gap > config_.dual_gap_threshold) {
     ++stats_.dual_gap;
+    if (recorder_ != nullptr) {
+      recorder_->Record(loop_.now(), obs::FlightEventKind::kProbeDiscard, 0,
+                        round.id, "dual_gap");
+    }
     rounds_.erase(it);
     return;
   }
   // ...and the two pair estimates must agree within the threshold.
   if (std::abs(*est0 - *est1) > config_.dual_divergence_threshold) {
     ++stats_.dual_divergence;
+    if (recorder_ != nullptr) {
+      recorder_->Record(loop_.now(), obs::FlightEventKind::kProbeDiscard, 0,
+                        round.id, "dual_divergence");
+    }
     rounds_.erase(it);
     return;
   }

@@ -10,6 +10,7 @@
 #include "core/attribution.h"
 #include "core/probe_transport.h"
 #include "net/packet.h"
+#include "obs/flight_recorder.h"
 #include "sim/event_loop.h"
 #include "sim/time.h"
 
@@ -106,6 +107,12 @@ class PingPairProber {
   void SetChannelAccessProvider(ChannelAccessProvider provider);
   /// Installs the client-clock model (default: identity — true sim time).
   void SetClock(ClockModel clock);
+  /// Attaches a flight recorder: every discarded round (timeout, wrong
+  /// order, dual gap, dual divergence) records a kProbeDiscard event whose
+  /// detail names the Section 5.6 filter that fired. Null detaches.
+  void SetFlightRecorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
 
   [[nodiscard]] const std::vector<PingPairSample>& samples() const {
     return samples_;
@@ -160,6 +167,7 @@ class PingPairProber {
   std::vector<PingPairSample> samples_;
   std::vector<SampleCallback> callbacks_;
   PingPairStats stats_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace kwikr::core

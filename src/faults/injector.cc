@@ -60,7 +60,12 @@ FaultInjector::FaultInjector(sim::EventLoop& loop, FaultSpec spec,
 FaultInjector::~FaultInjector() = default;
 
 void FaultInjector::CountObs(const char* which, std::uint64_t n) {
-  if (metrics_ == nullptr || n == 0) return;
+  if (n == 0) return;
+  if (recorder_ != nullptr) {
+    recorder_->Record(loop_.now(), obs::FlightEventKind::kFaultTransition, 0,
+                      n, which);
+  }
+  if (metrics_ == nullptr) return;
   metrics_
       ->GetCounter(std::string("fault_") + which + "_total", labels_)
       .Add(n);

@@ -7,6 +7,7 @@
 #include "faults/fault_spec.h"
 #include "faults/gilbert_elliott.h"
 #include "net/wired_link.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
@@ -97,6 +98,21 @@ class FaultInjector {
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
 
+  /// The Gilbert–Elliott chain (null when GE is not configured) — the
+  /// timeline sampler's fault-state probe surface.
+  [[nodiscard]] const GilbertElliott* gilbert_elliott() const {
+    return ge_.get();
+  }
+
+  /// Attaches a flight recorder: every counted fault action (GE bursts and
+  /// losses, mangles, WAN faults, schedule toggles, ...) also records a
+  /// kFaultTransition event whose detail is the counter name. The names are
+  /// string literals at the count sites, so recording stays alloc-free.
+  /// Null detaches.
+  void SetFlightRecorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   struct ChurnState;
 
@@ -114,6 +130,7 @@ class FaultInjector {
   sim::Rng rng_;
   obs::MetricsRegistry* metrics_;
   obs::Labels labels_;
+  obs::FlightRecorder* recorder_ = nullptr;
   bool active_[kNumFaultKinds] = {};
   std::unique_ptr<GilbertElliott> ge_;
   wifi::FrameErrorModel inner_error_model_;

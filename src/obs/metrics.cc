@@ -61,8 +61,13 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   // Snapshot the source outside our own lock (the two registries have
   // independent mutexes; copying under the source lock, then writing under
   // ours, avoids holding both at once).
+  struct GaugeCopy {
+    SeriesKey key;
+    bool set = false;
+    double value = 0.0;
+  };
   std::vector<std::pair<SeriesKey, std::uint64_t>> counters;
-  std::vector<std::pair<SeriesKey, double>> gauges;
+  std::vector<GaugeCopy> gauges;
   std::vector<std::pair<SeriesKey, stats::Histogram>> histograms;
   {
     std::lock_guard<std::mutex> lock(other.mutex_);
@@ -70,7 +75,7 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
       counters.emplace_back(key, counter->value());
     }
     for (const auto& [key, gauge] : other.gauges_) {
-      gauges.emplace_back(key, gauge->value());
+      gauges.push_back(GaugeCopy{key, gauge->has_value(), gauge->value()});
     }
     for (const auto& [key, cell] : other.histograms_) {
       histograms.emplace_back(key, cell->Snapshot());
@@ -79,8 +84,12 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   for (auto& [key, value] : counters) {
     GetCounter(key.first, key.second).Add(value);
   }
-  for (auto& [key, value] : gauges) {
-    GetGauge(key.first, key.second).Max(value);
+  for (auto& copy : gauges) {
+    // Create the cell even when the source is unset (so series presence is
+    // worker-count-invariant), but only an actually-set value participates
+    // in the max — otherwise a default 0 would swallow negative maxima.
+    Gauge& cell = GetGauge(copy.key.first, copy.key.second);
+    if (copy.set) cell.Max(copy.value);
   }
   for (auto& [key, histogram] : histograms) {
     GetHistogram(key.first, key.second, histogram.config())

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -38,17 +39,29 @@ class Counter {
 /// rule that is associative *and* commutative for a point-in-time value, so
 /// merged snapshots stay worker-count-invariant. Use counters or histograms
 /// for anything where max is not the right aggregate.
+///
+/// A never-written gauge is *unset* (internally a -inf sentinel): it reads
+/// as 0.0, but merging treats it as the max identity, so negative values
+/// survive shard-and-merge exactly (Max(-5) on a fresh gauge yields -5, not
+/// a spurious default 0).
 class Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
-  /// Raises the gauge to `v` when larger (the merge rule).
+  /// Raises the gauge to `v` when larger (the merge rule). On an unset
+  /// gauge this adopts `v` unconditionally.
   void Max(double v);
   [[nodiscard]] double value() const {
-    return value_.load(std::memory_order_relaxed);
+    const double v = value_.load(std::memory_order_relaxed);
+    return v == kUnset ? 0.0 : v;
+  }
+  /// False until the first Set/Max.
+  [[nodiscard]] bool has_value() const {
+    return value_.load(std::memory_order_relaxed) != kUnset;
   }
 
  private:
-  std::atomic<double> value_{0.0};
+  static constexpr double kUnset = -std::numeric_limits<double>::infinity();
+  std::atomic<double> value_{kUnset};
 };
 
 /// Histogram instrument: a mutex-guarded stats::Histogram sketch. Merging

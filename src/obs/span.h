@@ -56,6 +56,9 @@ class Tracer {
   void SetSink(TraceSink* sink) { sink_ = sink; }
 
   [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+  /// The attached sink (null when disabled) — lets batch exporters like
+  /// SeriesSampler::EmitCounters replay into whatever the tracer feeds.
+  [[nodiscard]] TraceSink* sink() const { return sink_; }
   [[nodiscard]] sim::Time now() const {
     return loop_ != nullptr ? loop_->now() : 0;
   }

@@ -381,6 +381,153 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
     trace_sampler->Start();
   }
 
+  // --- Timeline telemetry --------------------------------------------------
+  // Deterministic sim-time series + flight recorder + anomaly triggers (see
+  // TimelineOptions). Probe registration order is fixed, so the serialized
+  // timeline is canonical; with the feature off nothing here runs and the
+  // event schedule is untouched.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  std::unique_ptr<obs::SeriesSampler> sampler;
+  std::unique_ptr<obs::PostmortemMonitor> monitor;
+  struct ProbeLatch {
+    double tq_ms = 0.0;
+    double ta_ms = 0.0;
+    double tc_ms = 0.0;
+  };
+  ProbeLatch probe_latch;
+  if (config.timeline.enabled) {
+    if (config.timeline.flight_recorder) {
+      recorder =
+          std::make_unique<obs::FlightRecorder>(config.timeline.recorder_capacity);
+      bss.ap().SetFlightRecorder(recorder.get());
+      for (auto& call : calls) call.prober->SetFlightRecorder(recorder.get());
+      for (const auto* flows :
+           {&testbed.cross_flows(), &testbed.unmanaged_flows()}) {
+        for (const auto& flow : *flows) {
+          flow->sender->SetFlightRecorder(recorder.get());
+        }
+      }
+      if (injector != nullptr) injector->SetFlightRecorder(recorder.get());
+    }
+
+    obs::SeriesSampler::Config sampler_config;
+    sampler_config.interval = config.timeline.interval;
+    sampler_config.capacity = config.timeline.series_capacity;
+    sampler =
+        std::make_unique<obs::SeriesSampler>(testbed.loop(), sampler_config);
+
+    wifi::AccessPoint& ap = bss.ap();
+    for (int ac = 0; ac < wifi::kNumAccessCategories; ++ac) {
+      const auto category = static_cast<wifi::AccessCategory>(ac);
+      sampler->AddProbe(std::string("ap_queue_") + wifi::Name(category),
+                        [&ap, category] {
+                          return static_cast<double>(
+                              ap.DownlinkQueueLength(category));
+                        });
+    }
+    const wifi::QueueDiscipline& be_qdisc =
+        ap.DownlinkQdisc(wifi::AccessCategory::kBestEffort);
+    sampler->AddProbe("qdisc_be_backlog", [&be_qdisc] {
+      return static_cast<double>(be_qdisc.backlog());
+    });
+    sampler->AddProbe("qdisc_be_sojourn_ms",
+                      [&be_qdisc] { return be_qdisc.last_sojourn_ms(); });
+    sampler->AddProbe("channel_busy_pct", [&testbed] {
+      return testbed.channel().BusyFraction() * 100.0;
+    });
+    sampler->AddProbe("tcp_in_flight", [&testbed] {
+      double in_flight = 0.0;
+      for (const auto* flows :
+           {&testbed.cross_flows(), &testbed.unmanaged_flows()}) {
+        for (const auto& flow : *flows) {
+          in_flight += static_cast<double>(flow->sender->in_flight());
+        }
+      }
+      return in_flight;
+    });
+    sampler->AddProbe("tcp_max_cwnd", [&testbed] {
+      double max_cwnd = 0.0;
+      for (const auto* flows :
+           {&testbed.cross_flows(), &testbed.unmanaged_flows()}) {
+        for (const auto& flow : *flows) {
+          max_cwnd = std::max(max_cwnd, flow->sender->cwnd());
+        }
+      }
+      return max_cwnd;
+    });
+    sampler->AddProbe("tcp_pacing_kbps", [&testbed] {
+      double pacing = 0.0;
+      for (const auto* flows :
+           {&testbed.cross_flows(), &testbed.unmanaged_flows()}) {
+        for (const auto& flow : *flows) {
+          pacing += static_cast<double>(
+                        flow->sender->congestion_control().pacing_rate_bps()) /
+                    1000.0;
+        }
+      }
+      return pacing;
+    });
+    if (!calls.empty()) {
+      rtc::MediaReceiver* receiver0 = calls.front().receiver.get();
+      sampler->AddProbe("rate_target_kbps", [receiver0] {
+        return static_cast<double>(receiver0->target_rate_bps()) / 1000.0;
+      });
+      sampler->AddProbe("rate_estimate_kbps", [receiver0] {
+        return receiver0->estimator().bandwidth_bps() / 1000.0;
+      });
+      sampler->AddProbe("rate_innovation_ms", [receiver0] {
+        return receiver0->estimator().last_innovation_s() * 1000.0;
+      });
+      // Ping-pair samples are sparse (2/s); the series carries the latest
+      // value, latched by the sample callback below.
+      ProbeLatch* latch = &probe_latch;
+      sampler->AddProbe("probe_tq_ms", [latch] { return latch->tq_ms; });
+      sampler->AddProbe("probe_ta_ms", [latch] { return latch->ta_ms; });
+      sampler->AddProbe("probe_tc_ms", [latch] { return latch->tc_ms; });
+    }
+    if (injector != nullptr && injector->gilbert_elliott() != nullptr) {
+      const faults::FaultInjector* inj = injector.get();
+      sampler->AddProbe("ge_bad", [inj] {
+        return inj->gilbert_elliott()->bad() ? 1.0 : 0.0;
+      });
+    }
+
+    const bool any_trigger = config.timeline.anomaly_tq_p95_ms > 0.0 ||
+                             config.timeline.anomaly_retransmit_storm > 0 ||
+                             config.timeline.anomaly_divergence > 0.0;
+    if (any_trigger) {
+      obs::PostmortemMonitor::Config monitor_config;
+      monitor_config.tq_p95_ms = config.timeline.anomaly_tq_p95_ms;
+      monitor_config.retransmit_storm =
+          config.timeline.anomaly_retransmit_storm;
+      monitor_config.divergence_factor = config.timeline.anomaly_divergence;
+      monitor = std::make_unique<obs::PostmortemMonitor>(
+          testbed.loop(), *sampler, recorder.get(), monitor_config,
+          config.timeline.postmortem_path);
+      if (!calls.empty() && config.timeline.anomaly_divergence > 0.0) {
+        rtc::MediaReceiver* receiver0 = calls.front().receiver.get();
+        obs::PostmortemMonitor* monitor_ptr = monitor.get();
+        sampler->SetRowHook([receiver0, monitor_ptr] {
+          monitor_ptr->OnRateSample(
+              receiver0->estimator().bandwidth_bps() / 1000.0,
+              static_cast<double>(receiver0->target_rate_bps()) / 1000.0);
+        });
+      }
+    }
+    if (!calls.empty()) {
+      ProbeLatch* latch = &probe_latch;
+      obs::PostmortemMonitor* monitor_ptr = monitor.get();
+      calls.front().prober->AddSampleCallback(
+          [latch, monitor_ptr](const core::PingPairSample& s) {
+            latch->tq_ms = sim::ToMillis(s.tq);
+            latch->ta_ms = sim::ToMillis(s.ta);
+            latch->tc_ms = sim::ToMillis(s.tc);
+            if (monitor_ptr != nullptr) monitor_ptr->OnTqSample(latch->tq_ms);
+          });
+    }
+    sampler->Start();
+  }
+
   // --- Run -----------------------------------------------------------------
   if (injector != nullptr) injector->Arm();
   for (auto& call : calls) {
@@ -404,6 +551,17 @@ ExperimentMetrics RunCallExperiment(const ExperimentConfig& config) {
   // --- Collect -------------------------------------------------------------
   ExperimentMetrics result;
   result.events_executed = testbed.loop().executed();
+  if (sampler != nullptr) {
+    sampler->Stop();
+    result.timeline_jsonl = sampler->ToJsonl(config.timeline.call_index);
+    // Second exporter: replay the retained series as Chrome-trace counter
+    // tracks into whatever sink the tracer feeds.
+    if (tracer.enabled()) sampler->EmitCounters(*tracer.sink());
+    if (monitor != nullptr && monitor->triggered()) {
+      result.postmortem = monitor->dump();
+      result.postmortem_reason = monitor->reason();
+    }
+  }
   result.channel_busy_fraction = testbed.channel().BusyFraction();
   result.cross_traffic_bytes = testbed.CrossTrafficBytesReceived();
   result.tcp_rate_series_kbps = std::move(tcp_rate_series);

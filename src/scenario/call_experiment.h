@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/kwikr.h"
@@ -9,6 +10,7 @@
 #include "faults/fault_spec.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "rtc/controller.h"
 #include "rtc/media.h"
 #include "scenario/testbed.h"
@@ -103,6 +105,35 @@ struct ExperimentConfig {
   /// histograms) to the loop. Requires `metrics`; nondeterministic.
   bool profile_loop = false;
 
+  /// Sim-time timeline telemetry: a SeriesSampler over the experiment's
+  /// probe surfaces (per-AC AP queue, qdisc sojourn, channel busy, TCP
+  /// flight/cwnd/pacing, rate-control state, ping-pair Tq/Ta/Tc, GE fault
+  /// state), an optional FlightRecorder on every drop/retransmit/discard
+  /// path, and optional anomaly triggers that freeze + dump both as a
+  /// postmortem. Everything sampled is sim-derived, so the serialized
+  /// timeline is bit-identical across reruns and fleet worker counts.
+  /// Disabled by default: no timer events, no recorder attach — the run's
+  /// event schedule is exactly the pre-timeline one.
+  struct TimelineOptions {
+    bool enabled = false;
+    sim::Duration interval = sim::Millis(10);
+    std::size_t series_capacity = 2048;     ///< rows before decimation.
+    bool flight_recorder = true;            ///< attach the event ring.
+    std::size_t recorder_capacity = 512;    ///< events retained.
+    // Anomaly triggers (each 0 = disabled; see obs::PostmortemMonitor).
+    double anomaly_tq_p95_ms = 0.0;
+    std::uint64_t anomaly_retransmit_storm = 0;
+    double anomaly_divergence = 0.0;
+    /// Where a triggered postmortem is written (empty = in-memory only,
+    /// returned via ExperimentMetrics::postmortem).
+    std::string postmortem_path;
+    /// Stamped as `"call":N` on every timeline line when >= 0 — the
+    /// population layer sets it so concatenated per-call timelines stay
+    /// attributable.
+    std::int64_t call_index = -1;
+  };
+  TimelineOptions timeline;
+
   // The calls sharing this environment (usually one; two for Table 2).
   std::vector<CallConfig> calls = {CallConfig{}};
 };
@@ -131,6 +162,12 @@ struct ExperimentMetrics {
   /// scheduler-throughput accounting in the bench harness. Deterministic in
   /// the seed like every other field.
   std::uint64_t events_executed = 0;
+  /// Canonical timeline JSONL (one "series" line per probe); empty unless
+  /// `timeline.enabled`. Deterministic in the seed.
+  std::string timeline_jsonl;
+  /// Postmortem dump + trigger reason; empty unless an anomaly fired.
+  std::string postmortem;
+  std::string postmortem_reason;
 };
 
 /// Builds the testbed, runs the experiment to completion and returns the

@@ -212,6 +212,24 @@ bool ParseFaultScenario(std::string_view text, FaultScenario* out,
       ok = ParseInt64(value, &i64) && i64 > 0;
       e.qdisc.flows = static_cast<std::uint32_t>(i64);
       out->bottleneck_explicit = true;
+    } else if (key == "timeline") {
+      // Timeline keys deliberately leave bottleneck_explicit alone: the
+      // summary bytes of a scenario must not change when telemetry is
+      // bolted on (the event count does, which is why timeline scenarios
+      // get their own golden cells).
+      ok = ParseBool(value, &e.timeline.enabled);
+    } else if (key == "timeline_interval_ms") {
+      ok = ParseMillis(value, &e.timeline.interval) &&
+           e.timeline.interval > 0;
+    } else if (key == "anomaly_tq_p95_ms") {
+      ok = ParseDouble(value, &e.timeline.anomaly_tq_p95_ms) &&
+           e.timeline.anomaly_tq_p95_ms >= 0.0;
+    } else if (key == "anomaly_retransmit_storm") {
+      ok = ParseInt64(value, &i64) && i64 >= 0;
+      e.timeline.anomaly_retransmit_storm = static_cast<std::uint64_t>(i64);
+    } else if (key == "anomaly_divergence") {
+      ok = ParseDouble(value, &e.timeline.anomaly_divergence) &&
+           e.timeline.anomaly_divergence >= 0.0;
     } else {
       *error = "line " + std::to_string(line_no) + ": unknown key '" +
                std::string(key) + "'";
@@ -236,10 +254,19 @@ bool ParseFaultScenario(std::string_view text, FaultScenario* out,
 }
 
 FaultScenarioSummary RunFaultScenario(const FaultScenario& scenario) {
+  FaultScenarioArtifacts artifacts;
+  return RunFaultScenario(scenario, &artifacts);
+}
+
+FaultScenarioSummary RunFaultScenario(const FaultScenario& scenario,
+                                      FaultScenarioArtifacts* artifacts) {
   ExperimentConfig config = scenario.experiment;
-  obs::MetricsRegistry registry;
+  obs::MetricsRegistry& registry = artifacts->registry;
   config.metrics = &registry;  // the fault counters surface through here.
   const ExperimentMetrics metrics = RunCallExperiment(config);
+  artifacts->timeline_jsonl = metrics.timeline_jsonl;
+  artifacts->postmortem = metrics.postmortem;
+  artifacts->postmortem_reason = metrics.postmortem_reason;
 
   FaultScenarioSummary s;
   s.name = scenario.name;

@@ -45,6 +45,16 @@ namespace kwikr::scenario {
 ///   codel_interval_ms=100
 ///   fq_flows=64
 ///
+/// Timeline keys (sim-time telemetry; all off by default so pre-timeline
+/// scenarios keep their exact event schedule and summary bytes). The
+/// anomaly thresholds only take effect with `timeline=1`:
+///
+///   timeline=1                # enable the series sampler + flight recorder
+///   timeline_interval_ms=10
+///   anomaly_tq_p95_ms=40      # postmortem when windowed Tq p95 exceeds
+///   anomaly_retransmit_storm=50  # ... or this many retransmits in 1 s
+///   anomaly_divergence=4      # ... or estimate/target ratio exceeds this
+///
 /// Fault keys are the faults::ParseFaultSpec keys with a `fault.` prefix
 /// (repeatable `fault.schedule=` included):
 ///
@@ -112,6 +122,21 @@ struct FaultScenarioSummary {
 
 /// Runs the scenario to completion. Deterministic in the scenario content.
 FaultScenarioSummary RunFaultScenario(const FaultScenario& scenario);
+
+/// Side artifacts of a scenario run that the summary doesn't carry: the
+/// full metrics registry (for --metrics-out exports) and the timeline /
+/// postmortem JSONL (for --timeline-out). Non-copyable (it owns a
+/// registry); deterministic in the scenario content like the summary.
+struct FaultScenarioArtifacts {
+  obs::MetricsRegistry registry;
+  std::string timeline_jsonl;        ///< empty unless timeline=1.
+  std::string postmortem;            ///< empty unless a trigger fired.
+  std::string postmortem_reason;
+};
+
+/// As above, additionally filling `*artifacts` (must be non-null).
+FaultScenarioSummary RunFaultScenario(const FaultScenario& scenario,
+                                      FaultScenarioArtifacts* artifacts);
 
 /// Canonical JSON: fixed key order, fixed precision (%.3f for millisecond
 /// and percentage values), newline-terminated — byte-stable across reruns,

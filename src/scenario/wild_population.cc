@@ -74,6 +74,13 @@ WildCallResult RunOneEnvironment(const WildConfig& config, std::size_t index,
   experiment.calls[0].kwikr = false;
   const ExperimentMetrics baseline = RunCallExperiment(experiment);
   experiment.calls[0].kwikr = true;
+  if (config.timeline) {
+    // Telemetry rides on the Kwikr arm only (the arm that probes in
+    // production); the baseline arm's event schedule stays untouched.
+    experiment.timeline.enabled = true;
+    experiment.timeline.interval = config.timeline_interval;
+    experiment.timeline.call_index = static_cast<std::int64_t>(index);
+  }
   const ExperimentMetrics kwikr = RunCallExperiment(experiment);
 
   WildCallResult r;
@@ -95,6 +102,7 @@ WildCallResult RunOneEnvironment(const WildConfig& config, std::size_t index,
   r.wmm_enabled = experiment.wmm_enabled;
   r.cross_stations = experiment.cross_stations;
   r.events_executed = baseline.events_executed + kwikr.events_executed;
+  r.timeline_jsonl = kwikr.timeline_jsonl;
   return r;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fleet/fleet_metrics.h"
@@ -32,6 +33,15 @@ struct WildConfig {
   /// assignment depends only on the index, the determinism guarantee above
   /// is unchanged.
   std::vector<faults::FaultSpec> fault_matrix;
+
+  /// Sim-time timeline telemetry on the Kwikr arm of every environment
+  /// (the arm that runs the probing in production). Each call's series are
+  /// stamped with `"call":<index>`, so concatenating per-call timelines in
+  /// index order yields a population timeline that is byte-identical for
+  /// any `jobs`. Off by default — enabling it adds periodic timer events,
+  /// which changes the Kwikr arm's event count (never its media results).
+  bool timeline = false;
+  sim::Duration timeline_interval = sim::Millis(10);
 
   /// Optional observability sinks. Each environment accumulates simulated
   /// counters/histograms into its own worker-local registry which is merged
@@ -65,6 +75,9 @@ struct WildCallResult {
   /// Events dispatched across both arms' loops (scheduler-throughput
   /// accounting for the bench harness).
   std::uint64_t events_executed = 0;
+  /// Kwikr-arm timeline JSONL (empty unless WildConfig::timeline); every
+  /// line carries this environment's `"call":<index>` stamp.
+  std::string timeline_jsonl;
 };
 
 struct WildResults {

@@ -88,6 +88,10 @@ void TcpSender::SendSegment(std::int64_t seq, bool retransmission) {
 
   if (retransmission) {
     ++retransmissions_;
+    if (recorder_ != nullptr) {
+      recorder_->Record(loop_.now(), obs::FlightEventKind::kTcpRetransmit, 0,
+                        static_cast<std::uint64_t>(flow_));
+    }
     // Karn's rule: never time a retransmitted segment.
     if (rtt_probe_seq_ == seq) rtt_probe_seq_ = -1;
   } else if (rtt_probe_seq_ < 0) {
@@ -119,6 +123,10 @@ void TcpSender::OnRto() {
   if (!running_) return;
   if (next_seq_ == high_ack_) return;  // nothing outstanding.
   ++timeouts_;
+  if (recorder_ != nullptr) {
+    recorder_->Record(loop_.now(), obs::FlightEventKind::kTcpTimeout, 0,
+                      static_cast<std::uint64_t>(flow_));
+  }
   cc_->OnRto(loop_.now());
   SyncPacer();
   dup_acks_ = 0;

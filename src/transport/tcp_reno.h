@@ -6,6 +6,7 @@
 #include <set>
 
 #include "net/packet.h"
+#include "obs/flight_recorder.h"
 #include "sim/event_loop.h"
 #include "sim/time.h"
 #include "transport/congestion_control.h"
@@ -74,6 +75,13 @@ class TcpSender {
   [[nodiscard]] bool rto_armed() const { return rto_event_ != 0; }
   [[nodiscard]] bool in_fast_recovery() const { return in_fast_recovery_; }
 
+  /// Attaches a flight recorder: retransmissions and RTO firings get
+  /// recorded (value = flow id). Null detaches; detached cost is one null
+  /// check on paths that are already loss paths.
+  void SetFlightRecorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   void TrySend();
   void SendSegment(std::int64_t seq, bool retransmission);
@@ -112,6 +120,7 @@ class TcpSender {
 
   std::int64_t retransmissions_ = 0;
   std::int64_t timeouts_ = 0;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 /// Historical name from before the CongestionControl extraction; every

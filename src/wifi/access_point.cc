@@ -69,11 +69,26 @@ void AccessPoint::EnableRateAdaptation(ArfPolicy::Config config) {
   BindTxHooks();
 }
 
+void AccessPoint::SetFlightRecorder(obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  for (int ac = 0; ac < kNumAccessCategories; ++ac) {
+    qdisc_[ac]->SetFlightRecorder(recorder, static_cast<std::uint8_t>(ac));
+  }
+  // Retry drops are only visible through TxFeedback; binding it is safe on
+  // every discipline (see the header note).
+  if (recorder != nullptr) BindTxHooks();
+}
+
 void AccessPoint::OnDownlinkTxOutcome(int ac, const Frame& frame,
                                       bool delivered, int attempts) {
   if (arf_enabled_) {
     const auto it = arf_.find(frame.packet.dst);
     if (it != arf_.end()) it->second->OnOutcome(delivered, attempts);
+  }
+  if (recorder_ != nullptr && !delivered) {
+    recorder_->Record(channel_.loop().now(), obs::FlightEventKind::kRetryDrop,
+                      static_cast<std::uint8_t>(ac),
+                      static_cast<std::uint64_t>(attempts));
   }
   // The head frame left the contender queue: let an AQM discipline top the
   // hardware queue back up (deferred internally; see the re-entrancy
@@ -149,6 +164,11 @@ void AccessPoint::OnUplinkFrame(Frame&& frame) {
     wan_forwarder_(std::move(packet));
   } else {
     ++unroutable_drops_;
+    if (recorder_ != nullptr) {
+      recorder_->Record(channel_.loop().now(),
+                        obs::FlightEventKind::kUnroutableDrop, 0,
+                        unroutable_drops_, "no_wan_forwarder");
+    }
   }
 }
 
@@ -156,6 +176,11 @@ void AccessPoint::EnqueueDownlink(net::Packet&& packet) {
   const auto it = stations_.find(packet.dst);
   if (it == stations_.end()) {
     ++unroutable_drops_;
+    if (recorder_ != nullptr) {
+      recorder_->Record(channel_.loop().now(),
+                        obs::FlightEventKind::kUnroutableDrop, 0,
+                        unroutable_drops_, "unknown_station");
+    }
     return;
   }
   Station* station = it->second;

@@ -79,6 +79,13 @@ class AccessPoint {
   /// The ARF policy serving `station`, or nullptr (disabled / never sent).
   [[nodiscard]] const ArfPolicy* ArfFor(net::Address station) const;
 
+  /// Attaches a flight recorder to the AP and its queue disciplines:
+  /// unroutable drops, per-AC retry drops, and qdisc drops get recorded.
+  /// Binding the TxFeedback hooks (needed for retry-drop visibility) is
+  /// behaviour-neutral — the DropTail OnTxComplete is a no-op — so attaching
+  /// a recorder never perturbs the simulation itself. Null detaches.
+  void SetFlightRecorder(obs::FlightRecorder* recorder);
+
   /// Ground truth: frames waiting in one downlink AC queue (includes the
   /// frame currently contending, as a standing queue would).
   [[nodiscard]] std::size_t DownlinkQueueLength(AccessCategory ac) const;
@@ -139,6 +146,7 @@ class AccessPoint {
   std::unordered_map<net::Address, Station*> stations_;
   std::function<void(net::Packet)> wan_forwarder_;
   DownlinkClassifier downlink_classifier_;
+  obs::FlightRecorder* recorder_ = nullptr;
   std::uint64_t unroutable_drops_ = 0;
   std::uint64_t echo_replies_sent_ = 0;
   bool arf_enabled_ = false;

@@ -28,7 +28,7 @@ class CoDelQdisc final : public detail::AqmQdiscBase {
   void Admit(detail::Entry&& entry) override {
     const std::int64_t bytes = entry.frame.packet.size_bytes;
     if (!ring_.push_back(std::move(entry))) {
-      ++overflow_drops_;  // push_back refused: entry untouched, frame lost.
+      NoteOverflowDrop();  // push_back refused: entry untouched, frame lost.
       return;
     }
     backlog_bytes_ += bytes;
@@ -46,9 +46,9 @@ class CoDelQdisc final : public detail::AqmQdiscBase {
         },
         [this] { return backlog_bytes_; },
         [this](detail::Entry&& dropped) {
-          ++aqm_drops_;
-          sojourn_ms_.Add(sim::ToMillis(channel_.loop().now() -
-                                        dropped.enqueued_at));
+          NoteAqmDrop();
+          RecordSojourn(sim::ToMillis(channel_.loop().now() -
+                                      dropped.enqueued_at));
         });
   }
 

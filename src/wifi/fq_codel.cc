@@ -45,7 +45,7 @@ class FqCoDelQdisc final : public detail::AqmQdiscBase {
     Flow& flow = flows_[index];
     const std::int64_t bytes = entry.frame.packet.size_bytes;
     if (!flow.ring.push_back(std::move(entry))) {
-      ++overflow_drops_;
+      NoteOverflowDrop();
       return;
     }
     flow.backlog_bytes += bytes;
@@ -121,9 +121,9 @@ class FqCoDelQdisc final : public detail::AqmQdiscBase {
         },
         [&flow] { return flow.backlog_bytes; },
         [this](detail::Entry&& dropped) {
-          ++aqm_drops_;
-          sojourn_ms_.Add(sim::ToMillis(channel_.loop().now() -
-                                        dropped.enqueued_at));
+          NoteAqmDrop();
+          RecordSojourn(sim::ToMillis(channel_.loop().now() -
+                                      dropped.enqueued_at));
         });
   }
 
@@ -145,7 +145,7 @@ class FqCoDelQdisc final : public detail::AqmQdiscBase {
         fattest = i;
       }
     }
-    if (auto victim = PopFlow(flows_[fattest])) ++overflow_drops_;
+    if (auto victim = PopFlow(flows_[fattest])) NoteOverflowDrop();
   }
 
   std::vector<Flow> flows_;

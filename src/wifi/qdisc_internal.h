@@ -58,11 +58,12 @@ class AqmQdiscBase : public QueueDiscipline {
     while (in_hw_ < config_.hw_limit) {
       auto entry = Dequeue(channel_.loop().now());
       if (!entry) break;
-      sojourn_ms_.Add(sim::ToMillis(channel_.loop().now() - entry->enqueued_at));
+      RecordSojourn(
+          sim::ToMillis(channel_.loop().now() - entry->enqueued_at));
       if (Feed(std::move(entry->frame))) {
         ++in_hw_;
       } else {
-        ++overflow_drops_;  // contender ring full (hw_limit misconfigured).
+        NoteOverflowDrop();  // contender ring full (hw_limit misconfigured).
       }
     }
   }

@@ -54,7 +54,9 @@ class DropTailQdisc final : public QueueDiscipline {
 
   void Enqueue(Frame&& frame) override {
     ++enqueued_;
-    Feed(std::move(frame));  // false = contender counted a tail drop.
+    // false = contender counted a tail drop; the recorder (when attached)
+    // wants the event too.
+    if (!Feed(std::move(frame))) NoteTailDrop();
   }
 
   [[nodiscard]] const char* name() const override { return "droptail"; }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string_view>
 
+#include "obs/flight_recorder.h"
 #include "sim/time.h"
 #include "stats/histogram.h"
 #include "wifi/channel.h"
@@ -94,6 +95,17 @@ class QueueDiscipline {
   [[nodiscard]] const stats::Histogram& sojourn_ms() const {
     return sojourn_ms_;
   }
+  /// Most recent dequeue sojourn (ms) — the timeline sampler's probe
+  /// surface (the histogram has no "latest" notion).
+  [[nodiscard]] double last_sojourn_ms() const { return last_sojourn_ms_; }
+
+  /// Attaches a flight recorder; drops recorded here carry `tag` (the AC
+  /// index, by AP convention). Null detaches — the detached drop paths stay
+  /// a single null check.
+  void SetFlightRecorder(obs::FlightRecorder* recorder, std::uint8_t tag) {
+    recorder_ = recorder;
+    recorder_tag_ = tag;
+  }
 
  protected:
   /// Hands a frame to the channel contender; false = contender ring full.
@@ -101,6 +113,35 @@ class QueueDiscipline {
     if (!channel_.Enqueue(contender_, std::move(frame))) return false;
     ++forwarded_;
     return true;
+  }
+
+  /// Counting helpers: every drop/sojourn site funnels through these so the
+  /// flight-recorder hook lives in exactly one place per event kind.
+  void RecordSojourn(double ms) {
+    last_sojourn_ms_ = ms;
+    sojourn_ms_.Add(ms);
+  }
+  void NoteAqmDrop() {
+    ++aqm_drops_;
+    if (recorder_ != nullptr) {
+      recorder_->Record(channel_.loop().now(),
+                        obs::FlightEventKind::kQdiscAqmDrop, recorder_tag_,
+                        aqm_drops_);
+    }
+  }
+  void NoteOverflowDrop() {
+    ++overflow_drops_;
+    if (recorder_ != nullptr) {
+      recorder_->Record(channel_.loop().now(),
+                        obs::FlightEventKind::kQdiscOverflowDrop,
+                        recorder_tag_, overflow_drops_);
+    }
+  }
+  void NoteTailDrop() {
+    if (recorder_ != nullptr) {
+      recorder_->Record(channel_.loop().now(), obs::FlightEventKind::kFrameDrop,
+                        recorder_tag_);
+    }
   }
 
   Channel& channel_;
@@ -111,7 +152,10 @@ class QueueDiscipline {
   std::uint64_t forwarded_ = 0;
   std::uint64_t aqm_drops_ = 0;
   std::uint64_t overflow_drops_ = 0;
+  double last_sojourn_ms_ = 0.0;
   stats::Histogram sojourn_ms_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint8_t recorder_tag_ = 0;
 };
 
 /// Builds the configured discipline over (channel, contender).

@@ -10,6 +10,16 @@
 //   golden_runner --check [--jobs N] [--artifacts DIR]   (the CTest mode)
 //   golden_runner --regen-golden [--jobs N]              (refresh corpus)
 //
+// Optional exports (the golden byte-compare is unaffected by either):
+//
+//   --metrics-out FILE   merged Prometheus text of every scenario's
+//                        registry (jobs-invariant: registry merges are
+//                        associative/commutative and the exposition is
+//                        deterministically ordered)
+//   --timeline-out DIR   per-scenario <name>.timeline.jsonl for scenarios
+//                        with timeline=1 (plus <name>.postmortem.jsonl
+//                        when an anomaly trigger fired)
+//
 // Running with different --jobs values must produce identical bytes; the
 // CTest registration exercises --jobs 1 and --jobs 8 for exactly that
 // reason.
@@ -24,7 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet_metrics.h"
 #include "fleet/fleet_runner.h"
+#include "obs/exporters.h"
 #include "scenario/fault_scenario.h"
 
 namespace fs = std::filesystem;
@@ -74,6 +86,8 @@ int main(int argc, char** argv) {
   int jobs = 1;
   fs::path golden_dir = KWIKR_GOLDEN_DIR;
   fs::path artifacts = "golden-diff";
+  std::string metrics_out;
+  fs::path timeline_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check") {
@@ -86,10 +100,15 @@ int main(int argc, char** argv) {
       artifacts = argv[++i];
     } else if (arg == "--golden-dir" && i + 1 < argc) {
       golden_dir = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--timeline-out" && i + 1 < argc) {
+      timeline_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: golden_runner [--check|--regen-golden] [--jobs N] "
-                   "[--artifacts DIR] [--golden-dir DIR]\n");
+                   "[--artifacts DIR] [--golden-dir DIR] "
+                   "[--metrics-out FILE] [--timeline-out DIR]\n");
       return 2;
     }
   }
@@ -132,10 +151,29 @@ int main(int argc, char** argv) {
   }
 
   // One fleet task per scenario; results are ordered by index regardless of
-  // worker interleaving, so the output bytes cannot depend on --jobs.
+  // worker interleaving, so the output bytes cannot depend on --jobs. Each
+  // scenario's registry merges into a shared FleetMetrics stage; the merge
+  // order varies with worker interleaving but the merged contents (and the
+  // --metrics-out exposition) do not.
+  struct ScenarioRun {
+    std::string summary;
+    std::string timeline;
+    std::string postmortem;
+    std::string postmortem_reason;
+  };
+  const bool want_metrics = !metrics_out.empty();
+  kwikr::fleet::FleetMetrics stage;
   const auto report = kwikr::fleet::RunFleet(
       scenarios.size(), jobs, [&](std::size_t i) {
-        return ToCanonicalJson(kwikr::scenario::RunFaultScenario(parsed[i]));
+        kwikr::scenario::FaultScenarioArtifacts a;
+        ScenarioRun run;
+        run.summary =
+            ToCanonicalJson(kwikr::scenario::RunFaultScenario(parsed[i], &a));
+        run.timeline = std::move(a.timeline_jsonl);
+        run.postmortem = std::move(a.postmortem);
+        run.postmortem_reason = std::move(a.postmortem_reason);
+        if (want_metrics) stage.MergeRegistry(a.registry);
+        return run;
       });
   if (!report.failures.empty()) {
     for (const auto& failure : report.failures) {
@@ -145,9 +183,38 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (want_metrics &&
+      !kwikr::obs::WritePrometheus(stage.registry(), metrics_out)) {
+    return 2;
+  }
+  if (!timeline_out.empty()) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const ScenarioRun& run = report.results[i];
+      const std::string stem = scenarios[i].stem().string();
+      if (!run.timeline.empty() &&
+          !WriteFile(timeline_out / (stem + ".timeline.jsonl"),
+                     run.timeline)) {
+        std::fprintf(stderr, "golden_runner: cannot write timeline for %s\n",
+                     stem.c_str());
+        return 2;
+      }
+      if (!run.postmortem.empty()) {
+        std::printf("  postmortem %s: %s\n", stem.c_str(),
+                    run.postmortem_reason.c_str());
+        if (!WriteFile(timeline_out / (stem + ".postmortem.jsonl"),
+                       run.postmortem)) {
+          std::fprintf(stderr,
+                       "golden_runner: cannot write postmortem for %s\n",
+                       stem.c_str());
+          return 2;
+        }
+      }
+    }
+  }
+
   int failures = 0;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const std::string& got = report.results[i];
+    const std::string& got = report.results[i].summary;
     fs::path expected_path = scenarios[i];
     expected_path.replace_extension(".expected.json");
 

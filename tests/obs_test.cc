@@ -234,6 +234,38 @@ TEST(MetricsRegistryTest, MergeIsAssociativeAndCommutative) {
   EXPECT_EQ(expected, obs::PrometheusText(reversed));
 }
 
+TEST(MetricsRegistryTest, GaugeMaxMergePreservesNegativeValues) {
+  // An unset gauge reads 0.0, but once set it must round-trip negative
+  // maxima through Merge — a default-zero destination cell would silently
+  // swallow them (max(-5, 0) == 0).
+  obs::MetricsRegistry a;
+  a.GetGauge("floor").Max(-5.0);
+  EXPECT_TRUE(a.GetGauge("floor").has_value());
+  EXPECT_DOUBLE_EQ(a.GetGauge("floor").value(), -5.0);
+
+  obs::MetricsRegistry b;
+  b.GetGauge("floor").Max(-2.0);
+
+  obs::MetricsRegistry merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_TRUE(merged.GetGauge("floor").has_value());
+  EXPECT_DOUBLE_EQ(merged.GetGauge("floor").value(), -2.0);
+
+  // A declared-but-never-set gauge merges as presence only: the series
+  // appears in the destination without perturbing any real value.
+  obs::MetricsRegistry unset;
+  unset.GetGauge("floor");
+  merged.Merge(unset);
+  EXPECT_DOUBLE_EQ(merged.GetGauge("floor").value(), -2.0);
+
+  obs::MetricsRegistry fresh;
+  fresh.Merge(unset);
+  EXPECT_EQ(fresh.size(), 1u);                        // presence preserved,
+  EXPECT_FALSE(fresh.GetGauge("floor").has_value());  // value still unset.
+  EXPECT_DOUBLE_EQ(fresh.GetGauge("floor").value(), 0.0);
+}
+
 TEST(MetricsRegistryTest, WildPopulationRegistryInvariantAcrossJobs) {
   // The end-to-end determinism contract: the merged registry of a parallel
   // population run serializes bit-identically to the serial run's.
@@ -278,6 +310,20 @@ TEST(ExportersTest, PrometheusTextWellFormed) {
   EXPECT_NE(text.find("h{l=\"v\",quantile=\"0.5\"}"), std::string::npos);
   EXPECT_NE(text.find("h_sum{l=\"v\"}"), std::string::npos);
   EXPECT_NE(text.find("h_count{l=\"v\"} 1\n"), std::string::npos);
+}
+
+TEST(ExportersTest, EmptyRegistrySerializesEmpty) {
+  // A never-touched registry must scrape as zero bytes (no stray TYPE
+  // headers) in both text formats, and an event-free Chrome trace must
+  // still be a complete, parseable JSON document.
+  obs::MetricsRegistry empty;
+  EXPECT_EQ(obs::PrometheusText(empty), "");
+  EXPECT_EQ(obs::MetricsJsonl(empty), "");
+
+  const obs::ChromeTraceWriter writer;
+  EXPECT_EQ(writer.events(), 0u);
+  const std::string json = writer.ToJson();
+  EXPECT_TRUE(JsonParser(json).Parse()) << json;
 }
 
 TEST(ExportersTest, MetricsJsonlLinesParse) {
