@@ -137,11 +137,11 @@ class Harness {
  private:
   struct TxSpec {
     wifi::ContenderId id = 0;
-    wifi::OwnerId dest = 0;
-    std::int64_t rate_bps = 0;
-    std::int32_t size_bytes = 0;
-    std::uint8_t tos = 0;
-    net::Protocol protocol = net::Protocol::kUdp;
+    /// Prebuilt refill frame: every refill of a spec enqueues the same
+    /// shape, so the source keeps one template and clones it — the idiom
+    /// real traffic sources use — instead of zero-initializing a fresh
+    /// net::Packet per delivered frame.
+    wifi::Frame frame;
   };
 
   void AddTx(wifi::OwnerId owner, wifi::OwnerId dest, wifi::AccessCategory ac,
@@ -150,10 +150,11 @@ class Harness {
              std::int32_t size_bytes, std::uint8_t tos) {
     TxSpec& spec = specs_[specs_count_++];
     spec.id = channel_.CreateContender(owner, ac, edca[wifi::Index(ac)], 64);
-    spec.dest = dest;
-    spec.rate_bps = 120'000'000;
-    spec.size_bytes = size_bytes;
-    spec.tos = tos;
+    spec.frame.dest = dest;
+    spec.frame.phy_rate_bps = 120'000'000;
+    spec.frame.packet.size_bytes = size_bytes;
+    spec.frame.packet.tos = tos;
+    spec.frame.packet.flow = specs_count_ - 1;
   }
 
   void AddProbe(wifi::OwnerId owner, wifi::OwnerId dest,
@@ -162,18 +163,12 @@ class Harness {
                                  wifi::kNumAccessCategories>& edca,
                 std::uint8_t tos) {
     AddTx(owner, dest, ac, edca, 84, tos);
-    specs_[specs_count_ - 1].protocol = net::Protocol::kIcmp;
+    specs_[specs_count_ - 1].frame.packet.protocol = net::Protocol::kIcmp;
   }
 
   void Refill(std::uint32_t spec_index) {
     const TxSpec& spec = specs_[spec_index];
-    net::Packet p;
-    p.protocol = spec.protocol;
-    p.tos = spec.tos;
-    p.size_bytes = spec.size_bytes;
-    p.flow = spec_index;
-    channel_.Enqueue(spec.id,
-                     wifi::Frame{std::move(p), spec.dest, spec.rate_bps});
+    channel_.Enqueue(spec.id, wifi::Frame(spec.frame));
   }
 
   void OnDelivery(wifi::Frame&& frame) {
@@ -231,7 +226,10 @@ std::string ToJson(const Results& r, bool quick) {
       "\"allocs_per_frame\":%.4f,\"probe_share\":%.4f,"
       "\"busy_fraction\":%.3f,\"collisions\":%llu,\"retry_drops\":%llu,"
       "\"wall_ms\":%.1f,\"peak_rss_kb\":%lu}\n",
-      quick ? "quick" : "full", static_cast<unsigned long long>(r.frames),
+      // The committed (non-quick) trajectory line is tagged with the
+      // arbitration-core generation so regressions bisect cleanly: "batched"
+      // = the SoA EdcaCore sweeps (vs the retired per-contender "full").
+      quick ? "quick" : "batched", static_cast<unsigned long long>(r.frames),
       r.frames_per_sec, r.events_per_sec, r.allocs_per_frame, r.probe_share,
       r.busy_fraction, static_cast<unsigned long long>(r.collisions),
       static_cast<unsigned long long>(r.retry_drops), r.wall_ms,

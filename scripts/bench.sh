@@ -16,7 +16,8 @@
 #       A second record ("fig10_wild_delay_timeline") repeats the sweep with
 #       10 ms timeline sampling on, so the committed trajectory tracks the
 #       sampler's events/sec overhead against the sampling-off number; the
-#       timeline bytes are also compared between --jobs 1 and --jobs 8.
+#       timeline bytes are also compared between --jobs 1 and --jobs 8, and
+#       the timeline run's peak RSS is gated at 2.5x the sampling-off run.
 #
 # Usage: scripts/bench.sh [--quick] [--no-fig10]
 #   --quick     shrink the micro workload (CI smoke; not for committing).
@@ -92,6 +93,23 @@ if [[ "$run_fig10" == 1 ]]; then
   grep '^{"bench":"fig10_wild_delay"' "$tmp/fig10_tl_j8.out" | tail -1 \
     | sed 's/"bench":"fig10_wild_delay"/"bench":"fig10_wild_delay_timeline"/' \
     >> BENCH_fig10.json
+
+  echo "== gate: timeline sampling must not blow up peak RSS =="
+  # Relative gate (machine-independent): the timeline run holds every call's
+  # serialized series until the final concatenation, and an unbounded
+  # sampler once pushed it to 4x the sampling-off footprint. The per-call
+  # point budget keeps it under 2.5x; regressions past that fail the run.
+  rss_plain=$(grep -o '"peak_rss_kb":[0-9]*' BENCH_fig10.json \
+    | head -1 | cut -d: -f2)
+  rss_timeline=$(grep -o '"peak_rss_kb":[0-9]*' BENCH_fig10.json \
+    | tail -1 | cut -d: -f2)
+  if (( rss_timeline * 10 > rss_plain * 25 )); then
+    echo "FAIL: timeline peak RSS ${rss_timeline} kB exceeds 2.5x the" \
+      "sampling-off ${rss_plain} kB" >&2
+    exit 1
+  fi
+  echo "timeline peak RSS ${rss_timeline} kB vs ${rss_plain} kB sampling-off" \
+    "(gate: 2.5x)"
 fi
 
 echo "== results =="

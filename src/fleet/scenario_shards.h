@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_runner.h"
+
+namespace kwikr::fleet {
+
+/// Intra-scenario sharding: run the independent BSS groups of ONE scenario
+/// (e.g. the baseline and Kwikr arms of a paired A/B environment, which are
+/// co-channel replicas that never exchange a frame) as separate fleet tasks,
+/// then recombine them deterministically. Population sweeps parallelize
+/// across scenarios; this layer parallelizes *inside* one, so a single large
+/// scenario also uses all cores.
+///
+/// The determinism contract extends fleet::RunFleet's: a shard must derive
+/// everything from (scenario seed, shard index) — never from another shard —
+/// and the merge points below impose a total order on the recombined output
+/// that depends only on shard contents, not on completion order.
+
+/// Deterministic cross-shard merge of sim-time event streams.
+///
+/// Each shard's stream is JSONL whose lines carry a sim-time field
+/// (`"t":<integer>`, nanoseconds) and are already non-decreasing in time —
+/// the order every timeline/flight-recorder serializer in this repo emits.
+/// The merge yields the unique total order sorted by (t, shard index), with
+/// a shard's equal-time lines kept in their original relative order. A line
+/// without a `t` field (preamble/summary lines) inherits the previous
+/// line's time in its shard (first line: t = minimum), so annotations stay
+/// attached to the event they follow. The result is byte-identical for any
+/// worker count or completion order, which is what makes sharded scenario
+/// output comparable against serial golden artifacts.
+std::string MergeShardStreams(const std::vector<std::string>& shards);
+
+/// Runs `fn(shard)` for every shard in [0, shards) across the fleet and
+/// returns the per-shard results ordered by shard index (RunFleet's
+/// contract; completion order never shows). Thin by design: recombination
+/// is scenario-specific, so callers pair/merge the ordered results and use
+/// MergeShardStreams for any event streams the shards produced.
+template <typename Fn>
+auto RunScenarioShards(std::size_t shards, int jobs, Fn&& fn)
+    -> FleetReport<decltype(fn(std::size_t{0}))> {
+  return RunFleet(shards, jobs, std::forward<Fn>(fn));
+}
+
+}  // namespace kwikr::fleet

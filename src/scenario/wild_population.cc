@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
+#include "fleet/scenario_shards.h"
 #include "sim/rng.h"
 #include "stats/percentile.h"
 #include "stats/welch.h"
@@ -55,34 +57,46 @@ double SamplePercentileMs(const std::vector<core::PingPairSample>& samples,
   return stats::Percentile(ms, p);
 }
 
-/// One environment end to end. All randomness flows from `call_rng` — a
-/// per-index fork of the population RNG — so environments are independent
-/// tasks the fleet runner can execute on any worker in any order.
-WildCallResult RunOneEnvironment(const WildConfig& config, std::size_t index,
-                                 sim::Rng call_rng,
-                                 obs::MetricsRegistry* metrics) {
+/// Replays environment `index`'s draw: every arm task forks the population
+/// RNG at the same index and consumes the same draws, so the baseline and
+/// Kwikr shards of one environment reconstruct an identical experiment
+/// without sharing any state.
+ExperimentConfig DrawPairedExperiment(const WildConfig& config,
+                                      std::size_t index, sim::Rng call_rng) {
   const std::uint64_t call_seed = call_rng.Next();
   ExperimentConfig experiment = DrawEnvironment(call_rng, config, call_seed);
-  experiment.metrics = metrics;  // worker-local; merged by the caller.
   if (!config.fault_matrix.empty()) {
     experiment.faults = config.fault_matrix[index % config.fault_matrix.size()];
   }
+  return experiment;
+}
 
-  // Paired A/B under common random numbers: the environment (seed,
-  // topology, congestion schedule) is identical; only the adaptation arm
-  // differs.
-  experiment.calls[0].kwikr = false;
-  const ExperimentMetrics baseline = RunCallExperiment(experiment);
-  experiment.calls[0].kwikr = true;
-  if (config.timeline) {
+/// One arm of the paired A/B — an independent co-channel BSS-group replica.
+/// The environment (seed, topology, congestion schedule) is common random
+/// numbers; only the adaptation arm differs.
+ExperimentMetrics RunArm(ExperimentConfig experiment, const WildConfig& config,
+                         std::size_t index, bool kwikr,
+                         obs::MetricsRegistry* metrics) {
+  experiment.metrics = metrics;  // worker-local; merged by the caller.
+  experiment.calls[0].kwikr = kwikr;
+  if (kwikr && config.timeline) {
     // Telemetry rides on the Kwikr arm only (the arm that probes in
     // production); the baseline arm's event schedule stays untouched.
     experiment.timeline.enabled = true;
     experiment.timeline.interval = config.timeline_interval;
+    experiment.timeline.series_capacity = config.timeline_series_capacity;
     experiment.timeline.call_index = static_cast<std::int64_t>(index);
   }
-  const ExperimentMetrics kwikr = RunCallExperiment(experiment);
+  return RunCallExperiment(experiment);
+}
 
+/// Join point of the two arm shards: pure pairwise combination of the arm
+/// metrics, so it yields the same bytes whether the arms ran back-to-back
+/// in one task or as separate shards on different workers. Event streams
+/// merge through the deterministic (t, shard) rule.
+WildCallResult MergeArms(const ExperimentConfig& experiment,
+                         const ExperimentMetrics& baseline,
+                         const ExperimentMetrics& kwikr) {
   WildCallResult r;
   const CallMetrics& b = baseline.calls[0];
   const CallMetrics& k = kwikr.calls[0];
@@ -102,8 +116,47 @@ WildCallResult RunOneEnvironment(const WildConfig& config, std::size_t index,
   r.wmm_enabled = experiment.wmm_enabled;
   r.cross_stations = experiment.cross_stations;
   r.events_executed = baseline.events_executed + kwikr.events_executed;
-  r.timeline_jsonl = kwikr.timeline_jsonl;
+  r.timeline_jsonl =
+      fleet::MergeShardStreams({baseline.timeline_jsonl, kwikr.timeline_jsonl});
   return r;
+}
+
+/// One environment end to end (both arms in one task). All randomness flows
+/// from `call_rng` — a per-index fork of the population RNG — so
+/// environments are independent tasks the fleet runner can execute on any
+/// worker in any order.
+WildCallResult RunOneEnvironment(const WildConfig& config, std::size_t index,
+                                 sim::Rng call_rng,
+                                 obs::MetricsRegistry* metrics) {
+  const ExperimentConfig experiment =
+      DrawPairedExperiment(config, index, std::move(call_rng));
+  const ExperimentMetrics baseline =
+      RunArm(experiment, config, index, /*kwikr=*/false, metrics);
+  const ExperimentMetrics kwikr =
+      RunArm(experiment, config, index, /*kwikr=*/true, metrics);
+  return MergeArms(experiment, baseline, kwikr);
+}
+
+}  // namespace
+
+namespace {
+
+/// Runs `fn(local_registry)` with the merge-once-per-task observability
+/// pattern: a worker-local registry merged into the stage when the task
+/// completes, plus the wall-clock "task_wall_ms" summary.
+template <typename Fn>
+auto RunObservedTask(bool observed, fleet::FleetMetrics* stage, Fn&& fn) {
+  if (!observed) return fn(static_cast<obs::MetricsRegistry*>(nullptr));
+  const auto wall_begin = std::chrono::steady_clock::now();
+  obs::MetricsRegistry local;
+  auto result = fn(&local);
+  stage->MergeRegistry(local);
+  stats::RunningSummary wall;
+  wall.Add(std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - wall_begin)
+               .count());
+  stage->MergeSummary("task_wall_ms", wall);
+  return result;
 }
 
 }  // namespace
@@ -117,31 +170,66 @@ WildResults RunWildPopulation(const WildConfig& config) {
   fleet::FleetMetrics local_stage;
   fleet::FleetMetrics* stage =
       config.fleet_metrics != nullptr ? config.fleet_metrics : &local_stage;
-
-  auto report = fleet::RunFleet(
-      static_cast<std::size_t>(std::max(config.calls, 0)), config.jobs,
-      [&](std::size_t index) {
-        if (!observed) {
-          return RunOneEnvironment(config, index, base_rng.Fork(index),
-                                   nullptr);
-        }
-        const auto wall_begin = std::chrono::steady_clock::now();
-        obs::MetricsRegistry local;
-        WildCallResult r =
-            RunOneEnvironment(config, index, base_rng.Fork(index), &local);
-        stage->MergeRegistry(local);
-        stats::RunningSummary wall;
-        wall.Add(std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - wall_begin)
-                     .count());
-        stage->MergeSummary("task_wall_ms", wall);
-        return r;
-      });
-  if (config.metrics != nullptr) config.metrics->Merge(stage->registry());
+  const auto calls = static_cast<std::size_t>(std::max(config.calls, 0));
 
   WildResults results;
-  results.calls = std::move(report.results);
-  results.failures = std::move(report.failures);
+  if (!config.shard_arms) {
+    auto report =
+        fleet::RunFleet(calls, config.jobs, [&](std::size_t index) {
+          return RunObservedTask(observed, stage,
+                                 [&](obs::MetricsRegistry* local) {
+                                   return RunOneEnvironment(
+                                       config, index, base_rng.Fork(index),
+                                       local);
+                                 });
+        });
+    results.calls = std::move(report.results);
+    results.failures = std::move(report.failures);
+  } else {
+    // BSS-group sharded path: shard 2i is environment i's baseline arm,
+    // shard 2i+1 its Kwikr arm. Each shard replays the identical
+    // environment draw from base_seed + index (common random numbers), so
+    // the pair-merge below reproduces the unsharded bytes exactly.
+    struct ArmOutcome {
+      ExperimentConfig experiment;
+      ExperimentMetrics metrics;
+    };
+    auto report = fleet::RunScenarioShards(
+        2 * calls, config.jobs, [&](std::size_t shard) {
+          const std::size_t index = shard >> 1;
+          const bool kwikr = (shard & 1) != 0;
+          return RunObservedTask(
+              observed, stage, [&](obs::MetricsRegistry* local) {
+                ArmOutcome out;
+                out.experiment =
+                    DrawPairedExperiment(config, index, base_rng.Fork(index));
+                out.metrics =
+                    RunArm(out.experiment, config, index, kwikr, local);
+                return out;
+              });
+        });
+    results.calls.resize(calls);
+    for (std::size_t i = 0; i < calls; ++i) {
+      const ArmOutcome& baseline = report.results[2 * i];
+      const ArmOutcome& kwikr = report.results[2 * i + 1];
+      // A failed arm's slot is default-constructed (no calls entry); the
+      // environment's result then stays default too, matching the
+      // unsharded failure contract.
+      if (baseline.metrics.calls.empty() || kwikr.metrics.calls.empty()) {
+        continue;
+      }
+      results.calls[i] =
+          MergeArms(baseline.experiment, baseline.metrics, kwikr.metrics);
+    }
+    // Map arm-shard failures back onto environment indices (sorted order is
+    // preserved: shard index order is environment-major).
+    for (const fleet::TaskFailure& f : report.failures) {
+      results.failures.push_back(fleet::TaskFailure{
+          f.index >> 1,
+          ((f.index & 1) != 0 ? "kwikr arm: " : "baseline arm: ") + f.error});
+    }
+  }
+  if (config.metrics != nullptr) config.metrics->Merge(stage->registry());
   return results;
 }
 

@@ -27,6 +27,22 @@ struct WildConfig {
   /// for any value of `jobs`.
   int jobs = 1;
 
+  /// Intra-scenario BSS-group sharding: run each environment's two arms
+  /// (baseline / Kwikr) — independent co-channel BSS-group replicas under
+  /// common random numbers that never exchange a frame — as separate fleet
+  /// tasks instead of back-to-back in one task. Doubles the task
+  /// granularity, so a small population (down to a single paired call)
+  /// still fills every worker and the per-environment straggler tail
+  /// halves. Results are bit-identical to the unsharded path for any
+  /// `jobs`: both arm tasks replay the same environment draw from
+  /// `base_seed` + index, each arm's simulation is deterministic in its
+  /// config alone, and the arms pair-merge by index at the join point
+  /// (fleet::MergeShardStreams orders any event streams by (t, shard)).
+  /// The only observable difference is FleetMetrics' "task_wall_ms"
+  /// summary counting 2N arm tasks instead of N environments — wall-clock
+  /// timing is nondeterministic and outside the determinism contract.
+  bool shard_arms = false;
+
   /// Fault matrix: environment `i` runs under `fault_matrix[i % size]`
   /// (empty = no faults anywhere). This is how a population sweep shards a
   /// set of impairment profiles across its environments; because the
@@ -42,6 +58,14 @@ struct WildConfig {
   /// which changes the Kwikr arm's event count (never its media results).
   bool timeline = false;
   sim::Duration timeline_interval = sim::Millis(10);
+  /// Per-call series point budget (rows before the sampler decimates). A
+  /// population run holds every call's serialized timeline in memory until
+  /// the final index-ordered concatenation, so the budget is deliberately
+  /// smaller than a single-scenario run's default — 150 calls at the
+  /// single-scenario 2048 kept ~24 MB of JSONL resident and quadrupled the
+  /// bench's peak RSS. Decimation is deterministic in tick counts, so this
+  /// only trades resolution, never the any-`jobs` byte-identity.
+  std::size_t timeline_series_capacity = 512;
 
   /// Optional observability sinks. Each environment accumulates simulated
   /// counters/histograms into its own worker-local registry which is merged

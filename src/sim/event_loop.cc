@@ -1,10 +1,142 @@
 #include "sim/event_loop.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 
 namespace kwikr::sim {
+
+bool EventLoop::FindNextL0(std::uint64_t* tick) const {
+  // Circular scan of the 256-bit occupancy map starting just after the scan
+  // position. Bucket index == tick & 255, and every occupied bucket's tick
+  // is in (scanned_tick_, scanned_tick_ + 255], so the circular distance
+  // from `start` recovers the absolute tick unambiguously.
+  const std::uint32_t start = (scanned_tick_ + 1) & (kL0Buckets - 1);
+  std::uint32_t word = start >> 6;
+  for (std::uint32_t i = 0; i < 5; ++i, word = (word + 1) & 3) {
+    std::uint64_t bits = l0_bits_[word];
+    if (i == 0) bits &= ~std::uint64_t{0} << (start & 63);
+    if (i == 4) {
+      if ((start & 63) == 0) break;
+      bits &= ~(~std::uint64_t{0} << (start & 63));
+    }
+    if (bits != 0) {
+      const std::uint32_t pos = (word << 6) + std::countr_zero(bits);
+      const std::uint32_t dist = (pos - start) & (kL0Buckets - 1);
+      *tick = scanned_tick_ + 1 + dist;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EventLoop::FindNextL1(std::uint64_t* window) const {
+  if (l1_bits_ == 0) return false;
+  const std::uint64_t cur = scanned_tick_ >> (kL1Shift - kL0Shift);
+  const std::uint32_t start = (cur + 1) & (kL1Buckets - 1);
+  // Rotate so bit 0 means "window cur + 1"; countr_zero is the distance.
+  const std::uint64_t rotated =
+      (l1_bits_ >> start) | (start == 0 ? 0 : l1_bits_ << (64 - start));
+  *window = cur + 1 + std::countr_zero(rotated);
+  return true;
+}
+
+void EventLoop::DrainL0(std::uint64_t tick) {
+  const std::uint32_t b = tick & (kL0Buckets - 1);
+  std::vector<HeapEntry>& bucket = l0_[b];
+  for (const HeapEntry& entry : bucket) {
+    const std::uint32_t slot = EntrySlot(entry);
+    if (SlotAt(slot).cancelled) {
+      ReleaseSlot(slot);
+      --tombstones_;
+    } else {
+      drain_.push_back(entry);
+    }
+  }
+  wheel_count_ -= bucket.size();
+  bucket.clear();
+  l0_bits_[b >> 6] &= ~(1ull << (b & 63));
+  scanned_tick_ = tick;
+  std::sort(drain_.begin(), drain_.end());
+}
+
+void EventLoop::CascadeL1(std::uint64_t window) {
+  // The scan stops just short of this L1 window's first tick, which makes
+  // the whole window — ticks [window << 8, window << 8 + 255] — exactly the
+  // L0 ring's addressable range (scanned_tick_, scanned_tick_ + 255], so
+  // every entry cascades into L0 (merging with any entries already parked
+  // there) and none can land AT the scan position, where the circular
+  // bitmap scan could no longer see it.
+  scanned_tick_ = (window << (kL1Shift - kL0Shift)) - 1;
+  const std::uint32_t b = window & (kL1Buckets - 1);
+  std::vector<HeapEntry>& bucket = l1_[b];
+  for (const HeapEntry& entry : bucket) {
+    const std::uint32_t slot = EntrySlot(entry);
+    if (SlotAt(slot).cancelled) {
+      ReleaseSlot(slot);
+      --tombstones_;
+      --wheel_count_;
+      continue;
+    }
+    const auto tick = static_cast<std::uint64_t>(EntryTime(entry)) >> kL0Shift;
+    assert(tick > scanned_tick_ && tick - scanned_tick_ <= kL0Buckets - 1);
+    const std::uint32_t lb = tick & (kL0Buckets - 1);
+    l0_[lb].push_back(entry);
+    l0_bits_[lb >> 6] |= 1ull << (lb & 63);
+  }
+  bucket.clear();
+  l1_bits_ &= ~(1ull << b);
+}
+
+bool EventLoop::RefillDrain() {
+  drain_.clear();
+  drain_head_ = 0;
+  while (wheel_count_ > 0) {
+    // An L1 window must cascade before the scan passes its boundary — its
+    // entries' ticks all lie inside the window — so an occupied L0 bucket
+    // is only drained if it comes first.
+    std::uint64_t t0 = 0;
+    const bool has_l0 = FindNextL0(&t0);
+    std::uint64_t w = 0;
+    if (FindNextL1(&w)) {
+      if (has_l0 && t0 < (w << (kL1Shift - kL0Shift))) {
+        DrainL0(t0);
+      } else {
+        CascadeL1(w);
+      }
+    } else if (has_l0) {
+      DrainL0(t0);
+    } else {
+      assert(false && "wheel_count_ > 0 with no occupied bucket");
+      break;
+    }
+    if (!drain_.empty()) return true;
+  }
+  return false;
+}
+
+bool EventLoop::PeekTimer(HeapEntry* out, bool* from_drain) {
+  if (drain_head_ == drain_.size()) {
+    if (wheel_count_ > 0) {
+      RefillDrain();
+    } else if (!drain_.empty()) {
+      drain_.clear();
+      drain_head_ = 0;
+    }
+  }
+  const bool has_drain = drain_head_ < drain_.size();
+  if (has_drain &&
+      (heap_.empty() || drain_[drain_head_] < heap_.front())) {
+    *out = drain_[drain_head_];
+    *from_drain = true;
+    return true;
+  }
+  if (heap_.empty()) return false;
+  *out = heap_.front();
+  *from_drain = false;
+  return true;
+}
 
 void EventLoop::PopRoot() {
   heap_.front() = heap_.back();
@@ -23,6 +155,8 @@ inline void EventLoop::Dispatch(std::uint32_t slot_index, Time at) {
   const Slot* next = nullptr;
   if (!now_queue_.empty()) {
     next = &SlotAt(now_queue_.front());
+  } else if (drain_head_ < drain_.size()) {
+    next = &SlotAt(EntrySlot(drain_[drain_head_]));
   } else if (!heap_.empty()) {
     next = &SlotAt(EntrySlot(heap_.front()));
   }
@@ -65,6 +199,45 @@ void EventLoop::Compact() {
   for (std::size_t i = kept / 4 + 1; i-- > 0;) {
     if (i < kept) SiftDown(i);
   }
+  // Wheel buckets: compact each in place (insertion order within a bucket
+  // is irrelevant — the drain sort orders them) and refresh the occupancy
+  // bits for buckets that empty out entirely.
+  const auto sweep_bucket = [this](std::vector<HeapEntry>& bucket) {
+    std::size_t out = 0;
+    for (const HeapEntry& entry : bucket) {
+      const std::uint32_t slot = EntrySlot(entry);
+      if (SlotAt(slot).cancelled) {
+        ReleaseSlot(slot);
+        --wheel_count_;
+      } else {
+        bucket[out++] = entry;
+      }
+    }
+    bucket.resize(out);
+    return out;
+  };
+  for (std::uint32_t b = 0; b < kL0Buckets; ++b) {
+    if (!l0_[b].empty() && sweep_bucket(l0_[b]) == 0) {
+      l0_bits_[b >> 6] &= ~(1ull << (b & 63));
+    }
+  }
+  for (std::uint32_t b = 0; b < kL1Buckets; ++b) {
+    if (!l1_[b].empty() && sweep_bucket(l1_[b]) == 0) {
+      l1_bits_ &= ~(1ull << b);
+    }
+  }
+  // Drain run: keep the live suffix, order preserved, head rewound to 0.
+  std::size_t drain_kept = 0;
+  for (std::size_t i = drain_head_; i < drain_.size(); ++i) {
+    const std::uint32_t slot = EntrySlot(drain_[i]);
+    if (SlotAt(slot).cancelled) {
+      ReleaseSlot(slot);
+    } else {
+      drain_[drain_kept++] = drain_[i];
+    }
+  }
+  drain_.resize(drain_kept);
+  drain_head_ = 0;
   // Rotate the same-tick queue once, dropping tombstones; order preserved.
   for (std::size_t i = now_queue_.size(); i-- > 0;) {
     const std::uint32_t slot = now_queue_.front();
@@ -91,13 +264,15 @@ bool EventLoop::Cancel(EventId id) {
   slot.fn.Dispose();  // release captures now, not at reap time.
   ++tombstones_;
   --live_;
-  // Reap tombstones in bulk once they are three quarters of the heap;
-  // below the size floor, lazy top-pruning is cheaper than a sweep. (The
-  // old 1/2 threshold swept ~20k times per fig10 run; each tombstone the
-  // sweep saves would otherwise cost one pop+sift, so sweeping is only
-  // worth it once garbage strongly dominates.)
-  if (heap_.size() >= kCompactionMinEntries &&
-      tombstones_ * 4 > heap_.size() * 3) {
+  // Reap tombstones in bulk once they are three quarters of the pending
+  // timer population; below the size floor, lazy reaping at the heap top /
+  // bucket drain is cheaper than a sweep. (The old 1/2 threshold swept ~20k
+  // times per fig10 run; each tombstone the sweep saves would otherwise
+  // cost one pop+sift, so sweeping is only worth it once garbage strongly
+  // dominates.)
+  const std::size_t timer_entries = TimerEntries();
+  if (timer_entries >= kCompactionMinEntries &&
+      tombstones_ * 4 > timer_entries * 3) {
     Compact();
   }
   return true;
@@ -106,12 +281,14 @@ bool EventLoop::Cancel(EventId id) {
 bool EventLoop::PopAndRun() {
   while (true) {
     if (!now_queue_.empty()) {
-      // Heap entries AT (or, tombstoned, before) the current tick were
+      // Timer entries AT (or, tombstoned, before) the current tick were
       // scheduled before the clock reached it: they precede every
       // same-tick-queue entry.
-      if (!heap_.empty() && EntryTime(heap_.front()) <= now_) {
-        const std::uint32_t slot_index = EntrySlot(heap_.front());
-        PopRoot();
+      HeapEntry top;
+      bool from_drain = false;
+      if (PeekTimer(&top, &from_drain) && EntryTime(top) <= now_) {
+        const std::uint32_t slot_index = EntrySlot(top);
+        PopTimer(from_drain);
         if (SlotAt(slot_index).cancelled) {
           ReleaseSlot(slot_index);
           --tombstones_;
@@ -130,10 +307,11 @@ bool EventLoop::PopAndRun() {
       Dispatch(slot_index, now_);
       return true;
     }
-    if (heap_.empty()) return false;
-    const HeapEntry top = heap_.front();
-    PopRoot();
+    HeapEntry top;
+    bool from_drain = false;
+    if (!PeekTimer(&top, &from_drain)) return false;
     const std::uint32_t slot_index = EntrySlot(top);
+    PopTimer(from_drain);
     if (SlotAt(slot_index).cancelled) {
       ReleaseSlot(slot_index);
       --tombstones_;
@@ -146,11 +324,28 @@ bool EventLoop::PopAndRun() {
 
 void EventLoop::RenumberSequences() {
   // The 32-bit sequence counter wrapped (once per 2^32 - 1 schedules).
-  // Sorting by the full key preserves the pending entries' relative FIFO
-  // order exactly; reassigning dense sequence numbers then restores
-  // headroom. A sorted array satisfies the heap property, so no rebuild is
-  // needed. heap_.size() < 2^32 always (slot indices are 32-bit), so the
-  // dense numbering cannot itself wrap.
+  // Every pending timer entry — heap, wheel buckets, drain run — is
+  // gathered into the heap vector, sorted by full key (which preserves the
+  // relative FIFO order exactly), and renumbered densely. A sorted array
+  // satisfies the heap property, so the population restarts heap-resident
+  // and the wheel refills naturally from future schedules; at once per
+  // 2^32 - 1 schedules the rebuild cost is irrelevant. The pending count is
+  // < 2^32 always (slot indices are 32-bit), so the dense numbering cannot
+  // itself wrap.
+  for (auto& bucket : l0_) {
+    heap_.insert(heap_.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  for (auto& bucket : l1_) {
+    heap_.insert(heap_.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  heap_.insert(heap_.end(), drain_.begin() + drain_head_, drain_.end());
+  drain_.clear();
+  drain_head_ = 0;
+  for (std::uint64_t& word : l0_bits_) word = 0;
+  l1_bits_ = 0;
+  wheel_count_ = 0;
   std::sort(heap_.begin(), heap_.end());
   std::uint32_t seq = 1;
   for (HeapEntry& entry : heap_) entry = WithSeq(entry, seq++);
@@ -165,16 +360,18 @@ void EventLoop::Run() {
 void EventLoop::RunUntil(Time deadline) {
   // Cancelled heads are reaped before the deadline check, so a tombstone
   // can neither satisfy nor fail it — only the earliest LIVE event decides.
-  // The heap top is read exactly once per event (the old PruneTop-then-
-  // PopAndRun shape read and slot-checked it twice). Same-tick-queue
-  // events are at now_ <= deadline by construction, so they never need a
-  // deadline check; heap entries at the current tick still precede them
-  // (smaller sequence numbers — see the now_queue_ ordering proof).
+  // Same-tick-queue events are at now_ <= deadline by construction, so they
+  // never need a deadline check; timer entries at the current tick still
+  // precede them (smaller sequence numbers — see the now_queue_ ordering
+  // proof). The wheel may drain/cascade past the deadline while peeking —
+  // harmless: drained entries stay pending in the sorted run.
   while (true) {
     if (!now_queue_.empty()) {
-      if (!heap_.empty() && EntryTime(heap_.front()) <= now_) {
-        const std::uint32_t slot_index = EntrySlot(heap_.front());
-        PopRoot();
+      HeapEntry top;
+      bool from_drain = false;
+      if (PeekTimer(&top, &from_drain) && EntryTime(top) <= now_) {
+        const std::uint32_t slot_index = EntrySlot(top);
+        PopTimer(from_drain);
         if (SlotAt(slot_index).cancelled) {
           ReleaseSlot(slot_index);
           --tombstones_;
@@ -193,17 +390,18 @@ void EventLoop::RunUntil(Time deadline) {
       Dispatch(slot_index, now_);
       continue;
     }
-    if (heap_.empty()) break;
-    const HeapEntry top = heap_.front();
+    HeapEntry top;
+    bool from_drain = false;
+    if (!PeekTimer(&top, &from_drain)) break;
     const std::uint32_t slot_index = EntrySlot(top);
     if (SlotAt(slot_index).cancelled) {
-      PopRoot();
+      PopTimer(from_drain);
       ReleaseSlot(slot_index);
       --tombstones_;
       continue;
     }
     if (EntryTime(top) > deadline) break;
-    PopRoot();
+    PopTimer(from_drain);
     Dispatch(slot_index, EntryTime(top));
   }
   now_ = std::max(now_, deadline);

@@ -21,6 +21,15 @@ using EventId = std::uint64_t;
 /// Type tag given to events scheduled through the untyped overloads.
 inline constexpr const char kDefaultEventType[] = "event";
 
+/// Pending-timer store selection (see EventLoop). kWheel is the production
+/// configuration: a two-level hierarchical timer wheel absorbs the dense
+/// short-horizon timers (frame airtimes, SIFS gaps, RTO guards) in O(1) and
+/// the 4-ary heap only carries the far-future overflow. kHeapOnly routes
+/// every timer through the heap — the pre-wheel behavior, kept selectable so
+/// the randomized differential test in tests/sim_test.cc can prove the two
+/// configurations dispatch identical (time, seq) sequences.
+enum class SchedulerMode { kWheel, kHeapOnly };
+
 /// Observer of event execution (the observability hook). Attach with
 /// EventLoop::SetProbe; with no probe attached the loop's dispatch path
 /// performs a single null check and no clock reads — zero-cost.
@@ -45,13 +54,22 @@ class EventLoopProbe {
 ///    call site, none on dispatch) and invoked in place: the slot table is
 ///    chunked so slots never move, even when a callback schedules more
 ///    events mid-run.
-///  - Ordering is a hand-rolled 4-ary min-heap of small POD entries
-///    (time, sequence, slot); the callables never ride through sifts.
+///  - Ordering is a two-level hierarchical timer wheel for the near future
+///    (L0: 256 buckets of 8.192 us, spanning 2.10 ms; L1: 64 buckets of
+///    2.097 ms, horizon 134.2 ms) backed by a hand-rolled 4-ary min-heap of
+///    small POD entries (time, sequence, slot) for the far-future overflow.
+///    Wheel inserts are O(1) bucket pushes; a bucket is sorted only when
+///    the clock reaches it (into the drain run), so dense timer populations
+///    never pay per-event log-depth sifts. Sparse populations (fewer than
+///    kWheelMinPopulation pending timers) skip the wheel entirely and use
+///    the heap, whose shallow sifts win there. The dispatch order is the
+///    exact (time, seq) total order either way — see DESIGN.md §14 and the
+///    SchedulerMode differential test.
 ///  - Cancellation is O(1) without hashing: EventId encodes (slot,
 ///    generation), and Cancel flips the slot's tombstone bit and releases
-///    the captured state immediately. Tombstoned heap entries are reaped
-///    lazily at the heap top, or in one O(n) compaction sweep when they
-///    outnumber live events.
+///    the captured state immediately. Tombstoned entries are reaped lazily
+///    at the heap top / bucket drain, or in one O(n) compaction sweep when
+///    they outnumber live events.
 class EventLoop {
  private:
   template <typename F>
@@ -60,6 +78,9 @@ class EventLoop {
 
  public:
   EventLoop() = default;
+  /// Selects the pending-timer store; kHeapOnly exists for the wheel-vs-heap
+  /// differential tests. The mode is fixed for the loop's lifetime.
+  explicit EventLoop(SchedulerMode mode) : mode_(mode) {}
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -95,9 +116,7 @@ class EventLoop {
       // Frame deliveries, the bulk of the wifi fast path, all land here.
       now_queue_.push_back(std::uint32_t{slot_index});
     } else {
-      if (next_seq_ == kMaxSeq) RenumberSequences();
-      heap_.push_back(MakeEntry(at, next_seq_++, slot_index));
-      SiftUp(heap_.size() - 1);
+      InsertTimer(at, slot_index);
     }
     ++live_;
     return MakeId(slot_index, slot.generation);
@@ -243,6 +262,13 @@ class EventLoop {
   /// Compaction sweeps only once the heap is mostly garbage AND big enough
   /// that lazy top-reaping alone could retain a lot of memory.
   static constexpr std::size_t kCompactionMinEntries = 64;
+  /// Below this many pending timers the wheel loses: with 1-4 entries the
+  /// 4-ary heap's one-level sifts cost a few ns while every wheel pop pays
+  /// a drain refill (bitmap scan + bucket drain + sort). InsertTimer routes
+  /// sparse-regime timers to the heap; the split is invisible to dispatch
+  /// order because PeekTimer always takes min(drain head, heap top) by the
+  /// full (time, seq) key.
+  static constexpr std::size_t kWheelMinPopulation = 64;
 
   static EventId MakeId(std::uint32_t slot, std::uint32_t generation) {
     // +1 keeps 0 (the conventional "no event" sentinel) unused.
@@ -324,6 +350,114 @@ class EventLoop {
     heap_[index] = entry;
   }
 
+  // ------------------------------------------------ hierarchical wheel ----
+  // Level geometry: an L0 bucket spans 2^13 ns (8.192 us) and the 256-bucket
+  // ring covers the next 2.10 ms; an L1 bucket spans 2^21 ns (2.097 ms) —
+  // exactly 256 L0 ticks — and its 64-bucket ring pushes the wheel horizon
+  // to 134.2 ms. Anything farther out overflows to the heap (and events
+  // scheduled while beyond the horizon simply stay there: the dispatch path
+  // always takes min(drain head, heap top), so the split is invisible).
+  //
+  // `scanned_tick_` is the wheel's scan position in L0 ticks: every L0
+  // bucket entry has tick in (scanned_tick_, scanned_tick_ + 255], every L1
+  // entry's window is in (scanned_tick_ >> 8, (scanned_tick_ >> 8) + 63],
+  // and everything at or before the scan position lives in `drain_` — a
+  // sorted run popped front to back (the bucket sort happens HERE, once the
+  // clock actually needs the bucket, which is what makes inserts O(1)).
+  // Late arrivals for an already-scanned tick are sorted-inserted into the
+  // remaining drain run; keys are unique, so the (time, seq) order is the
+  // exact heap order.
+  static constexpr int kL0Shift = 13;
+  static constexpr std::uint32_t kL0Buckets = 256;
+  static constexpr int kL1Shift = 21;
+  static constexpr std::uint32_t kL1Buckets = 64;
+  static_assert(kL1Shift - kL0Shift == 8,
+                "an L1 bucket must span exactly kL0Buckets L0 ticks — the "
+                "cascade routes straight into the L0 ring");
+
+  /// Routes one pending timer entry (at > now_) to the drain run, a wheel
+  /// bucket, or the overflow heap. Hot: inlined into the ScheduleAt
+  /// template.
+  void InsertTimer(Time at, std::uint32_t slot_index) {
+    if (next_seq_ == kMaxSeq) RenumberSequences();
+    const HeapEntry entry = MakeEntry(at, next_seq_++, slot_index);
+    if (mode_ == SchedulerMode::kHeapOnly ||
+        TimerEntries() < kWheelMinPopulation) {
+      // Sparse regime (or heap-only mode): see kWheelMinPopulation. The
+      // regimes mix freely — entries already in the wheel stay there and
+      // drain in order regardless of where new inserts land.
+      heap_.push_back(entry);
+      SiftUp(heap_.size() - 1);
+      return;
+    }
+    // With the wheel fully idle the scan position can be resynced to the
+    // clock for free (there is no bucket whose window mapping could break).
+    // Forward resync keeps heap-driven quiet periods from pushing
+    // near-future timers into the overflow heap. The BACKWARD resync
+    // matters just as much: reap-walking a tail of cancelled far-future
+    // guards (the RTO pattern at quiesce) parks the scan position way
+    // ahead of the clock, and without the pull-back every timer of the
+    // next activity phase would classify as a late arrival and
+    // sorted-insert into one ever-growing drain run — O(run) memmove per
+    // insert until the clock catches up with the parked scan.
+    if (wheel_count_ == 0 && drain_head_ == drain_.size()) {
+      scanned_tick_ = static_cast<std::uint64_t>(now_) >> kL0Shift;
+    }
+    const auto tick = static_cast<std::uint64_t>(at) >> kL0Shift;
+    if (tick <= scanned_tick_) {
+      // Already-scanned tick: join the sorted drain run. Every popped key
+      // has time <= now_ < at, so the insert position is at or after
+      // drain_head_ and the popped prefix is undisturbed.
+      const auto it = std::upper_bound(drain_.begin() + drain_head_,
+                                       drain_.end(), entry);
+      drain_.insert(it, entry);
+    } else if (tick - scanned_tick_ <= kL0Buckets - 1) {
+      const std::uint32_t b = tick & (kL0Buckets - 1);
+      l0_[b].push_back(entry);
+      l0_bits_[b >> 6] |= 1ull << (b & 63);
+      ++wheel_count_;
+    } else if ((tick >> (kL1Shift - kL0Shift)) -
+                   (scanned_tick_ >> (kL1Shift - kL0Shift)) <=
+               kL1Buckets - 1) {
+      const std::uint32_t b =
+          (tick >> (kL1Shift - kL0Shift)) & (kL1Buckets - 1);
+      l1_[b].push_back(entry);
+      l1_bits_ |= 1ull << b;
+      ++wheel_count_;
+    } else {
+      heap_.push_back(entry);
+      SiftUp(heap_.size() - 1);
+    }
+  }
+
+  /// Refills the drain run from the wheel: advances the scan to the next
+  /// occupied L0 bucket (cascading L1 windows as the scan crosses their
+  /// boundaries) and sorts it. Returns false once the wheel is empty.
+  bool RefillDrain();
+  /// Drains L0 bucket `tick` into drain_ (reaping tombstones) and sorts.
+  void DrainL0(std::uint64_t tick);
+  /// Cascades L1 window `window` into the L0 ring / drain run.
+  void CascadeL1(std::uint64_t window);
+  /// Next occupied L0 tick after scanned_tick_ (circular bitmap scan).
+  [[nodiscard]] bool FindNextL0(std::uint64_t* tick) const;
+  /// Next occupied L1 window after scanned_tick_'s window.
+  [[nodiscard]] bool FindNextL1(std::uint64_t* window) const;
+  /// Minimal pending timer entry across drain run + overflow heap (refilling
+  /// the drain from the wheel as needed) without removing it. The entry may
+  /// be tombstoned — callers reap after PopTimer, as with the old heap top.
+  bool PeekTimer(HeapEntry* out, bool* from_drain);
+  void PopTimer(bool from_drain) {
+    if (from_drain) {
+      ++drain_head_;
+    } else {
+      PopRoot();
+    }
+  }
+  /// Pending timer entries outside now_queue_ (compaction heuristics).
+  [[nodiscard]] std::size_t TimerEntries() const {
+    return heap_.size() + wheel_count_ + (drain_.size() - drain_head_);
+  }
+
   bool PopAndRun();
   /// Removes the heap root: back entry to the front, then one sift down.
   /// Precondition: the heap is non-empty.
@@ -347,9 +481,25 @@ class EventLoop {
 
   Time now_ = 0;
   std::uint32_t next_seq_ = 1;
+  SchedulerMode mode_ = SchedulerMode::kWheel;
   EventLoopProbe* probe_ = nullptr;
   std::uint64_t executed_ = 0;
+  /// Far-future overflow (and, in kHeapOnly mode, every pending timer).
   std::vector<HeapEntry> heap_;
+  // Wheel state — see the geometry comment above. Bucket vectors grow to
+  // their high-water mark and are then reused forever (clear() keeps
+  // capacity), so the steady state stays allocation-free.
+  std::vector<HeapEntry> l0_[kL0Buckets];
+  std::vector<HeapEntry> l1_[kL1Buckets];
+  std::uint64_t l0_bits_[kL0Buckets / 64] = {};
+  std::uint64_t l1_bits_ = 0;
+  /// Sorted run of the entries at/before the scan position; popped
+  /// [drain_head_, size) front to back.
+  std::vector<HeapEntry> drain_;
+  std::size_t drain_head_ = 0;
+  std::uint64_t scanned_tick_ = 0;
+  /// Entries (live + tombstoned) currently in l0_/l1_ buckets.
+  std::size_t wheel_count_ = 0;
   /// Same-tick fast lane: slots of events scheduled AT the current tick,
   /// in scheduling order. Dispatch order stays exactly the (time, seq)
   /// total order because (a) every heap entry whose time equals now_ was

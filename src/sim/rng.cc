@@ -51,6 +51,20 @@ std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(Next());  // full range
+  if ((range & (range - 1)) == 0) {
+    // Power-of-two range (every EDCA backoff draw: cw is 2^k - 1). Same
+    // rejection window and same accepted value as the general path below —
+    // for a power of two, ~0 % range == range - 1 so the general limit is
+    // exactly 2^64 - range, and v % range == v & (range - 1) — but with both
+    // ~25-cycle hardware divisions replaced by a negate and a mask. The
+    // rejection loop must stay (the window [2^64 - range, 2^64) is nonempty)
+    // or the draw SEQUENCE could diverge from the general path and break
+    // golden-corpus byte-identity.
+    const std::uint64_t limit = 0 - range;
+    std::uint64_t v = Next();
+    while (v >= limit) v = Next();
+    return lo + static_cast<std::int64_t>(v & (range - 1));
+  }
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % range;
   std::uint64_t v = Next();

@@ -7,8 +7,26 @@
 
 namespace kwikr::wifi {
 
+namespace {
+// Bound on same-tick staged deliveries (see deliver_stage_). The invariant
+// depth is 1 — the next delivery is pushed strictly later in sim time — so
+// this is pure headroom; overflow falls back to the by-value closure.
+constexpr std::size_t kDeliverStageCapacity = 64;
+}  // namespace
+
 Channel::Channel(sim::EventLoop& loop, sim::Rng rng, PhyParams phy)
-    : loop_(loop), rng_(rng), phy_(phy) {}
+    : loop_(loop),
+      rng_(rng),
+      phy_(phy),
+      edca_(phy.slot),
+      deliver_stage_(kDeliverStageCapacity) {
+  // Pre-grow the staging ring to its bound at setup so the frame path's
+  // zero-allocation invariant holds from the first delivery.
+  for (std::size_t i = 0; i < kDeliverStageCapacity; ++i) {
+    deliver_stage_.push_back(Frame{});
+  }
+  deliver_stage_.clear();
+}
 
 OwnerId Channel::RegisterOwner(DeliveryHandler on_delivery) {
   owners_.push_back(Owner{on_delivery, 0});
@@ -23,10 +41,11 @@ ContenderId Channel::CreateContender(OwnerId owner, AccessCategory ac,
   c.owner = owner;
   c.ac = ac;
   c.params = params;
-  c.aifs = phy_.Aifs(params);
   c.queue = sim::FrameRing<Frame>(queue_capacity);
-  c.cw = params.cw_min;
   contenders_.push_back(std::move(c));
+  const ContenderId id =
+      edca_.Add(phy_.Aifs(params), params.cw_min, params.cw_max);
+  assert(id + 1 == contenders_.size());
   // Each contender appears at most once per arbitration round in these, so
   // contenders_.size() is a hard bound. Reserving here (setup time) keeps a
   // rare many-way tie late in a run from being the first to reach the
@@ -35,23 +54,7 @@ ContenderId Channel::CreateContender(OwnerId owner, AccessCategory ac,
   winners_scratch_.reserve(contenders_.size());
   losers_scratch_.reserve(contenders_.size());
   in_flight_.reserve(contenders_.size());
-  return static_cast<ContenderId>(contenders_.size() - 1);
-}
-
-void Channel::JoinBacklog(ContenderId id, Contender& c) {
-  ++c.backlog_stamp;
-  c.in_backlog = true;
-  ++backlog_live_;
-  backlogged_.push_back(BacklogEntry{id, c.backlog_stamp});
-}
-
-void Channel::LeaveBacklog(Contender& c) {
-  // O(1): the vector entry goes stale and is compacted out by the next
-  // backlog sweep (this replaced an O(n) erase per emptied queue).
-  assert(c.in_backlog);
-  c.in_backlog = false;
-  --backlog_live_;
-  c.counting = false;
+  return id;
 }
 
 bool Channel::Enqueue(ContenderId id, Frame frame) {
@@ -63,17 +66,10 @@ bool Channel::Enqueue(ContenderId id, Frame frame) {
   }
   if (c.queue.size() == 1) {
     // Newly backlogged: join contention.
-    JoinBacklog(id, c);
-    c.backoff_slots = -1;
-    c.cw = c.params.cw_min;
     c.attempts = 0;
-    if (MediumIdle()) {
-      c.wait_ref = loop_.now();
-      c.counting = true;
-      ScheduleArbitration();
-    } else {
-      c.counting = false;
-    }
+    const bool idle = MediumIdle();
+    edca_.Join(id, loop_.now(), idle);
+    if (idle) ScheduleArbitration();
   }
   return true;
 }
@@ -119,33 +115,22 @@ double Channel::BusyFraction() const {
 
 bool Channel::MediumIdle() const { return !busy_; }
 
-void Channel::EnsureBackoffDrawn(Contender& c) {
-  if (c.backoff_slots < 0) {
-    c.backoff_slots =
-        static_cast<int>(rng_.UniformInt(0, c.cw));
+sim::Duration Channel::FrameAirtimeCached(Contender& c, const Frame& f) {
+  if (f.packet.size_bytes != c.airtime_bytes ||
+      f.phy_rate_bps != c.airtime_rate_bps) {
+    c.airtime_bytes = f.packet.size_bytes;
+    c.airtime_rate_bps = f.phy_rate_bps;
+    c.airtime_memo = phy_.FrameAirtime(f.packet.size_bytes, f.phy_rate_bps);
   }
-}
-
-sim::Time Channel::CandidateStart(const Contender& c) const {
-  return c.wait_ref + c.aifs +
-         static_cast<sim::Duration>(c.backoff_slots) * phy_.slot;
+  return c.airtime_memo;
 }
 
 void Channel::BeginIdlePeriod() {
   busy_ = false;
-  // One sweep restarts every backlogged contender's countdown AND finds the
-  // earliest candidate (the per-entry work and the rng draw order are
-  // exactly those of the old restart-sweep followed by
-  // ScheduleArbitration's sweep — fused to halve the idle-transition cost).
-  const sim::Time now = loop_.now();
-  sim::Time earliest = std::numeric_limits<sim::Time>::max();
-  ForEachBacklogged([this, now, &earliest](ContenderId, Contender& c) {
-    c.wait_ref = now;
-    c.counting = true;
-    EnsureBackoffDrawn(c);
-    earliest = std::min(earliest, CandidateStart(c));
-  });
-  ArmArbitration(earliest);
+  // One batched sweep restarts every backlogged countdown AND finds the
+  // earliest candidate (draw order and result are exactly those of the old
+  // per-contender restart-then-rescan code — see EdcaCore::BeginIdle).
+  ArmArbitration(edca_.BeginIdle(loop_.now(), rng_));
 }
 
 void Channel::CancelArbitration() {
@@ -157,22 +142,15 @@ void Channel::CancelArbitration() {
 }
 
 void Channel::ScheduleArbitration() {
-  if (backlog_live_ == 0 || busy_) {
+  if (edca_.backlog_live() == 0 || busy_) {
     CancelArbitration();
     return;
   }
-
-  sim::Time earliest = std::numeric_limits<sim::Time>::max();
-  ForEachBacklogged([this, &earliest](ContenderId, Contender& c) {
-    if (!c.counting) return;
-    EnsureBackoffDrawn(c);
-    earliest = std::min(earliest, CandidateStart(c));
-  });
-  ArmArbitration(earliest);
+  ArmArbitration(edca_.EarliestCandidate(rng_));
 }
 
 void Channel::ArmArbitration(sim::Time earliest) {
-  if (earliest == std::numeric_limits<sim::Time>::max()) {
+  if (earliest == EdcaCore::kNoCandidate) {
     CancelArbitration();
     return;
   }
@@ -195,30 +173,15 @@ void Channel::ArmArbitration(sim::Time earliest) {
 }
 
 void Channel::StartTransmissions(sim::Time start) {
-  // One sweep does both halves of the arbitration outcome: contenders
+  // One core sweep does both halves of the arbitration outcome: contenders
   // whose candidate time is exactly `start` win the medium; every other
   // counting contender freezes its backoff with the idle slots consumed so
-  // far. (Winners and the frozen set are disjoint, so folding the old
-  // second sweep in here is behavior-preserving — and drops a std::find
-  // per non-winner.) The winner/loser sets live in member scratch vectors:
-  // after warm-up this function performs no allocation at all (see
-  // bench/micro_channel).
+  // far (a branchless column pass — see EdcaCore::Arbitrate). The
+  // winner/loser sets live in member scratch vectors: after warm-up this
+  // function performs no allocation at all (see bench/micro_channel).
   std::vector<ContenderId>& winners = winners_scratch_;
   winners.clear();
-  ForEachBacklogged([this, start, &winners](ContenderId id, Contender& c) {
-    if (!c.counting) return;
-    if (CandidateStart(c) == start) {
-      winners.push_back(id);
-      return;
-    }
-    const sim::Time countdown_start = c.wait_ref + c.aifs;
-    if (start > countdown_start) {
-      const auto consumed =
-          static_cast<int>((start - countdown_start) / phy_.slot);
-      c.backoff_slots = std::max(0, c.backoff_slots - consumed);
-    }
-    c.counting = false;
-  });
+  edca_.Arbitrate(start, winners);
   if (winners.empty()) {
     ScheduleArbitration();
     return;
@@ -246,7 +209,7 @@ void Channel::StartTransmissions(sim::Time start) {
       in_flight_.push_back(id);
     }
   }
-  for (ContenderId id : virtual_losers) HandleFailure(contenders_[id]);
+  for (ContenderId id : virtual_losers) HandleFailure(id);
 
   // Medium goes busy for the longest of the simultaneous transmissions.
   sim::Time end = start;
@@ -254,8 +217,7 @@ void Channel::StartTransmissions(sim::Time start) {
     Contender& c = contenders_[id];
     assert(!c.queue.empty());
     const Frame& f = c.queue.front();
-    const sim::Duration airtime =
-        phy_.FrameAirtime(f.packet.size_bytes, f.phy_rate_bps);
+    const sim::Duration airtime = FrameAirtimeCached(c, f);
     c.txop_used = airtime;  // a fresh medium win opens a new TXOP.
     end = std::max(end, start + airtime);
   }
@@ -276,7 +238,7 @@ void Channel::FinishTransmissions(sim::Time end) {
 
   if (in_flight_.size() > 1) {
     ++collisions_;
-    for (ContenderId id : in_flight_) HandleFailure(contenders_[id]);
+    for (ContenderId id : in_flight_) HandleFailure(id);
   } else if (in_flight_.size() == 1) {
     const ContenderId id = in_flight_.front();
     Contender& c = contenders_[id];
@@ -285,15 +247,14 @@ void Channel::FinishTransmissions(sim::Time end) {
     double error_prob = 0.0;
     if (error_model_) error_prob = error_model_(c.owner, f.dest, f);
     if (rng_.Bernoulli(error_prob)) {
-      HandleFailure(c);
+      HandleFailure(id);
     } else {
       HandleSuccess(id, end);
       // TXOP continuation (802.11e): within the AC's TXOP limit, further
       // queued frames go out back-to-back without re-contending.
       if (!c.queue.empty() && c.params.txop_limit > 0) {
         const Frame& next = c.queue.front();
-        const sim::Duration airtime =
-            phy_.FrameAirtime(next.packet.size_bytes, next.phy_rate_bps);
+        const sim::Duration airtime = FrameAirtimeCached(c, next);
         if (c.txop_used + airtime <= c.params.txop_limit) {
           c.txop_used += airtime;
           ++txop_continuations_;
@@ -316,7 +277,8 @@ void Channel::FinishTransmissions(sim::Time end) {
   BeginIdlePeriod();
 }
 
-void Channel::HandleFailure(Contender& c) {
+void Channel::HandleFailure(ContenderId id) {
+  Contender& c = contenders_[id];
   assert(!c.queue.empty());
   ++c.attempts;
   if (c.attempts >= phy_.retry_limit) {
@@ -325,15 +287,12 @@ void Channel::HandleFailure(Contender& c) {
     ++c.retry_drops;
     if (c.tx_feedback) c.tx_feedback(dropped, false, c.attempts);
     c.attempts = 0;
-    c.cw = c.params.cw_min;
-    c.backoff_slots = -1;
-    if (c.queue.empty()) LeaveBacklog(c);
+    edca_.OnRetryDrop(id);
+    if (c.queue.empty()) edca_.Leave(id);
     if (drop_handler_) drop_handler_(dropped);
     return;
   }
-  c.cw = std::min(c.cw * 2 + 1, c.params.cw_max);
-  c.backoff_slots = -1;  // fresh draw from the doubled window.
-  c.counting = false;    // resumes at the next idle transition.
+  edca_.OnTxFailure(id);
 }
 
 void Channel::HandleSuccess(ContenderId id, sim::Time end) {
@@ -358,8 +317,7 @@ void Channel::HandleSuccess(ContenderId id, sim::Time end) {
 
   if (c.tx_feedback) c.tx_feedback(frame, true, c.attempts + 1);
   c.attempts = 0;
-  c.cw = c.params.cw_min;
-  c.backoff_slots = -1;  // post-transmission backoff.
+  edca_.OnTxSuccess(id);
 
   const OwnerId dest = frame.dest;
   assert(dest < owners_.size());
@@ -373,7 +331,7 @@ void Channel::HandleSuccess(ContenderId id, sim::Time end) {
       const DeliveryFault fault = delivery_fault_hook_(frame, end);
       if (fault.drop) {
         c.queue.pop_front();
-        if (c.queue.empty()) LeaveBacklog(c);
+        if (c.queue.empty()) edca_.Leave(id);
         return;
       }
       deliver_at = end + std::max<sim::Duration>(fault.delay, 0);
@@ -381,26 +339,45 @@ void Channel::HandleSuccess(ContenderId id, sim::Time end) {
     }
     // Deliver at the end of the frame (now). Scheduled rather than called
     // inline so receiver actions (e.g. an ICMP reply enqueue) observe a
-    // consistent channel state. This Frame-by-value capture is the largest
-    // event closure in the tree — InlineTask's buffer is sized to hold it,
-    // and the static_assert keeps that true as Packet/Frame grow.
-    for (int copy = 1; copy < copies; ++copy) {
-      auto deliver_copy = [this, dest, frame]() mutable {
+    // consistent channel state.
+    //
+    // Fast path: the frame is moved into the staging ring and the event
+    // captures only `this` — staged events pop FIFO in exactly their
+    // scheduling order (see deliver_stage_), so this is the same delivery
+    // in the same event slot, minus a 184-byte closure copy.
+    if (deliver_at == end && copies == 1 &&
+        deliver_stage_.push_back(std::move(frame))) {
+      auto deliver = [this] {
+        Frame& staged = deliver_stage_.front();
+        owners_[staged.dest].on_delivery(std::move(staged));
+        deliver_stage_.pop_front();
+      };
+      static_assert(sim::InlineTask::fits_inline<decltype(deliver)>);
+      c.queue.pop_front();
+      loop_.ScheduleAt(deliver_at, "wifi.deliver", std::move(deliver));
+    } else {
+      // Delayed or duplicated deliveries (fault hook) tolerate arbitrary
+      // ordering, so they ride the Frame-by-value closure — the largest
+      // event closure in the tree; InlineTask's buffer is sized to hold it,
+      // and the static_assert keeps that true as Packet/Frame grow.
+      for (int copy = 1; copy < copies; ++copy) {
+        auto deliver_copy = [this, dest, frame]() mutable {
+          owners_[dest].on_delivery(std::move(frame));
+        };
+        static_assert(sim::InlineTask::fits_inline<decltype(deliver_copy)>);
+        loop_.ScheduleAt(deliver_at, "wifi.deliver", std::move(deliver_copy));
+      }
+      auto deliver = [this, dest, frame = std::move(frame)]() mutable {
         owners_[dest].on_delivery(std::move(frame));
       };
-      static_assert(sim::InlineTask::fits_inline<decltype(deliver_copy)>);
-      loop_.ScheduleAt(deliver_at, "wifi.deliver", std::move(deliver_copy));
+      static_assert(sim::InlineTask::fits_inline<decltype(deliver)>);
+      c.queue.pop_front();
+      loop_.ScheduleAt(deliver_at, "wifi.deliver", std::move(deliver));
     }
-    auto deliver = [this, dest, frame = std::move(frame)]() mutable {
-      owners_[dest].on_delivery(std::move(frame));
-    };
-    static_assert(sim::InlineTask::fits_inline<decltype(deliver)>);
-    c.queue.pop_front();
-    loop_.ScheduleAt(deliver_at, "wifi.deliver", std::move(deliver));
   } else {
     c.queue.pop_front();
   }
-  if (c.queue.empty()) LeaveBacklog(c);
+  if (c.queue.empty()) edca_.Leave(id);
 }
 
 }  // namespace kwikr::wifi

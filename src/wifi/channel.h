@@ -13,6 +13,7 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "wifi/edca.h"
+#include "wifi/edca_core.h"
 
 namespace kwikr::wifi {
 
@@ -20,9 +21,6 @@ namespace kwikr::wifi {
 /// to one owner; an owner's access categories resolve internal (virtual)
 /// collisions by priority as 802.11e specifies.
 using OwnerId = std::uint32_t;
-
-/// Opaque handle to a per-(owner, access-category) transmit queue.
-using ContenderId = std::uint32_t;
 
 /// A queued MAC frame: an IP packet plus link-layer transmit parameters.
 struct Frame {
@@ -80,9 +78,13 @@ using FrameErrorModel =
 ///
 /// Fast path: hooks are devirtualized FunctionRefs (one null check + one
 /// indirect call, no allocation), per-contender queues are sim::FrameRing
-/// (index arithmetic, no deque segment churn), AIFS is cached per contender,
-/// and the backlog uses generation-stamped lazy removal so leaving contention
-/// is O(1) instead of an O(n) erase. See DESIGN.md §11.
+/// (index arithmetic, no deque segment churn), and the contention math —
+/// countdown bases, backoff counters, the CW ladder — lives in wifi::EdcaCore
+/// as struct-of-arrays columns swept in batched, largely branchless passes
+/// with generation-stamped lazy backlog removal. Per-frame airtime is a
+/// one-entry (bytes, rate) memo per contender: saturated queues repeat the
+/// same frame shape, so the PHY airtime division runs only on a shape
+/// change. See DESIGN.md §11 and §14.
 class Channel {
  public:
   /// Delivery callback: frame arrived intact at its destination. MacInfo in
@@ -168,16 +170,17 @@ class Channel {
     OwnerId owner = 0;
     AccessCategory ac = AccessCategory::kBestEffort;
     EdcaParams params;
-    sim::Duration aifs = 0;  ///< cached phy_.Aifs(params); params are fixed.
     sim::FrameRing<Frame> queue;
-    int backoff_slots = -1;  ///< -1 = needs a fresh draw.
-    int cw = 0;              ///< current contention window.
     int attempts = 0;        ///< attempts for the head frame.
-    sim::Time wait_ref = 0;  ///< when AIFS+backoff counting (re)started.
-    bool counting = false;   ///< wait_ref valid for the current idle period.
-    bool in_backlog = false;       ///< live member of backlogged_?
-    std::uint32_t backlog_stamp = 0;  ///< generation of the live entry.
     sim::Duration txop_used = 0;  ///< airtime consumed in the current TXOP.
+    /// One-entry airtime memo: FrameAirtime(bytes, rate) is pure and the
+    /// steady state transmits runs of identically-shaped frames, so caching
+    /// the last (bytes, rate) pair removes the TransmissionTime division
+    /// from nearly every transmission. rate 0 is the empty sentinel (a rate
+    /// of 0 bps is not transmittable).
+    std::int32_t airtime_bytes = 0;
+    std::int64_t airtime_rate_bps = 0;
+    sim::Duration airtime_memo = 0;
     std::uint64_t delivered = 0;
     std::uint64_t queue_drops = 0;
     std::uint64_t retry_drops = 0;
@@ -189,61 +192,32 @@ class Channel {
     std::uint16_t next_sequence = 0;
   };
 
-  /// Backlog entry: a contender plus the generation it joined with. An entry
-  /// is live iff the contender's (in_backlog, backlog_stamp) still match —
-  /// leaving contention just flips the bool (O(1)); dead entries are skipped
-  /// and compacted in place during the sweeps that walk the backlog anyway.
-  /// The stamp disambiguates "left and rejoined before the next sweep":
-  /// the stale earlier entry must not alias the fresh one, or the contender
-  /// would be visited twice (and the rng draw order would shift).
-  struct BacklogEntry {
-    ContenderId id;
-    std::uint32_t stamp;
-  };
-
   [[nodiscard]] bool MediumIdle() const;
-  [[nodiscard]] sim::Time CandidateStart(const Contender& c) const;
-  void EnsureBackoffDrawn(Contender& c);
-  void JoinBacklog(ContenderId id, Contender& c);
-  void LeaveBacklog(Contender& c);
+  /// Airtime of `f` through the contender's one-entry memo.
+  [[nodiscard]] sim::Duration FrameAirtimeCached(Contender& c, const Frame& f);
   void BeginIdlePeriod();
   void ScheduleArbitration();
   /// Arms (or re-arms) the arbitration event for candidate time `earliest`
-  /// (max() means "no candidate": any pending arbitration is cancelled).
+  /// (EdcaCore::kNoCandidate means "no candidate": any pending arbitration
+  /// is cancelled).
   void ArmArbitration(sim::Time earliest);
   /// Cancels the pending arbitration event, if any.
   void CancelArbitration();
   void StartTransmissions(sim::Time start);
   void FinishTransmissions(sim::Time end);
-  void HandleFailure(Contender& c);
+  void HandleFailure(ContenderId id);
   void HandleSuccess(ContenderId id, sim::Time end);
-
-  /// Walks the live backlog entries in insertion order, compacting dead ones
-  /// out as it goes. `fn(id, contender)` must not append to backlogged_.
-  template <typename Fn>
-  void ForEachBacklogged(Fn&& fn) {
-    std::size_t out = 0;
-    for (std::size_t i = 0; i < backlogged_.size(); ++i) {
-      const BacklogEntry entry = backlogged_[i];
-      Contender& c = contenders_[entry.id];
-      if (!c.in_backlog || c.backlog_stamp != entry.stamp) continue;
-      backlogged_[out++] = entry;
-      fn(entry.id, c);
-    }
-    backlogged_.resize(out);
-  }
 
   sim::EventLoop& loop_;
   sim::Rng rng_;
   PhyParams phy_;
+  EdcaCore edca_;  ///< the batched SoA contention machine.
   FrameErrorModel error_model_;
   DeliveryFaultHook delivery_fault_hook_;
   DropHandler drop_handler_;
 
   std::vector<Owner> owners_;
   std::vector<Contender> contenders_;
-  std::vector<BacklogEntry> backlogged_;
-  std::size_t backlog_live_ = 0;  ///< live entries in backlogged_.
 
   bool busy_ = false;
   sim::Time busy_until_ = 0;
@@ -256,6 +230,17 @@ class Channel {
   /// end time — the per-transmission vector allocations this replaces were
   /// a top line in the fig10 profile.
   std::vector<ContenderId> in_flight_;
+  /// Staging ring for same-tick deliveries: the common (unfaulted,
+  /// undelayed) delivered frame is moved here and its "wifi.deliver" event
+  /// captures only [this, dest] — 16 bytes instead of a 200-byte
+  /// Frame-by-value closure, which removes a 184-byte copy plus the fat
+  /// InlineTask slot traffic from every delivery. Safe because staged
+  /// deliveries are popped FIFO in exactly their scheduling order: same-tick
+  /// events dispatch in FIFO order, every staged event drains before the
+  /// clock can advance, and nothing else touches the ring mid-invoke.
+  /// Delayed / duplicated deliveries (fault hook) and ring overflow fall
+  /// back to the by-value closure, which tolerates any ordering.
+  sim::FrameRing<Frame> deliver_stage_;
   // Scratch for StartTransmissions (not re-entrant; event-driven only).
   std::vector<ContenderId> winners_scratch_;
   std::vector<ContenderId> losers_scratch_;

@@ -1,12 +1,15 @@
 // Frame-path primitives: kwikr::FunctionRef (the devirtualized hook type),
 // sim::FrameRing (the pooled frame queue), the event loop's same-tick
-// dispatch lane, and a fleet-sharded contention digest that must be
-// worker-count invariant. Registered under the `frame_path` CTest label;
-// scripts/check.sh also runs this suite under ThreadSanitizer, where the
-// sharded test exercises concurrent EventLoop + Channel instances.
+// dispatch lane, the batched SoA arbitration core differentially tested
+// against a retained scalar reference, the cross-shard stream merge rule,
+// and fleet-sharded runs that must be worker-count invariant. Registered
+// under the `frame_path` CTest label; scripts/check.sh and CI also run this
+// suite under ThreadSanitizer, where the sharded tests exercise concurrent
+// EventLoop + Channel instances including BSS-group arm sharding.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -14,7 +17,9 @@
 #include <vector>
 
 #include "fleet/fleet_runner.h"
+#include "fleet/scenario_shards.h"
 #include "net/packet.h"
+#include "scenario/wild_population.h"
 #include "sim/event_loop.h"
 #include "sim/frame_ring.h"
 #include "sim/function_ref.h"
@@ -22,6 +27,7 @@
 #include "sim/time.h"
 #include "wifi/channel.h"
 #include "wifi/edca.h"
+#include "wifi/edca_core.h"
 
 namespace kwikr {
 namespace {
@@ -296,6 +302,306 @@ class MiniBss {
   std::uint64_t delivered_ = 0;
 };
 
+// ----------------------------------------- EdcaCore scalar differential ----
+
+/// The pre-batching arbitration logic, one contender at a time: individual
+/// per-contender structs, an insertion-ordered backlog list, and a hardware
+/// divide in the freeze path. Retained verbatim-in-spirit as the differential
+/// oracle for the batched wifi::EdcaCore — every observable (candidate times,
+/// winner sets in backlog order, RNG draw order, the cw/backoff/counting
+/// columns) must match draw for draw, or the golden corpus would drift.
+class ScalarEdcaReference {
+ public:
+  explicit ScalarEdcaReference(sim::Duration slot) : slot_(slot) {}
+
+  wifi::ContenderId Add(sim::Duration aifs, int cw_min, int cw_max) {
+    contenders_.push_back(Contender{0, -1, cw_min, false, false,
+                                    aifs, cw_min, cw_max});
+    return static_cast<wifi::ContenderId>(contenders_.size() - 1);
+  }
+
+  [[nodiscard]] int cw(wifi::ContenderId id) const {
+    return contenders_[id].cw;
+  }
+  [[nodiscard]] int backoff(wifi::ContenderId id) const {
+    return contenders_[id].backoff;
+  }
+  [[nodiscard]] bool counting(wifi::ContenderId id) const {
+    return contenders_[id].counting;
+  }
+  [[nodiscard]] bool in_backlog(wifi::ContenderId id) const {
+    return contenders_[id].in_backlog;
+  }
+
+  void Join(wifi::ContenderId id, sim::Time now, bool medium_idle) {
+    // Rejoining moves the contender to the back of the backlog walk — the
+    // batched core gets the same order by stamping the old entry stale and
+    // appending a fresh one.
+    Unlink(id);
+    order_.push_back(id);
+    Contender& c = contenders_[id];
+    c.in_backlog = true;
+    c.backoff = -1;
+    c.cw = c.cw_min;
+    if (medium_idle) {
+      c.base = now + c.aifs;
+      c.counting = true;
+    } else {
+      c.counting = false;
+    }
+  }
+
+  void Leave(wifi::ContenderId id) {
+    Unlink(id);
+    contenders_[id].in_backlog = false;
+    contenders_[id].counting = false;
+  }
+
+  sim::Time BeginIdle(sim::Time now, sim::Rng& rng) {
+    sim::Time earliest = wifi::EdcaCore::kNoCandidate;
+    for (const wifi::ContenderId id : order_) {
+      Contender& c = contenders_[id];
+      c.base = now + c.aifs;
+      c.counting = true;
+      DrawIfNeeded(c, rng);
+      earliest = std::min(earliest, Candidate(c));
+    }
+    return earliest;
+  }
+
+  sim::Time EarliestCandidate(sim::Rng& rng) {
+    sim::Time earliest = wifi::EdcaCore::kNoCandidate;
+    for (const wifi::ContenderId id : order_) {
+      Contender& c = contenders_[id];
+      if (!c.counting) continue;
+      DrawIfNeeded(c, rng);
+      earliest = std::min(earliest, Candidate(c));
+    }
+    return earliest;
+  }
+
+  void Arbitrate(sim::Time start, std::vector<wifi::ContenderId>& winners) {
+    for (const wifi::ContenderId id : order_) {
+      Contender& c = contenders_[id];
+      if (!c.counting) continue;
+      if (Candidate(c) == start) {
+        winners.push_back(id);  // keeps counting through its transmission.
+        continue;
+      }
+      const sim::Duration delta = start - c.base;
+      const auto consumed =
+          static_cast<int>(delta > 0 ? delta / slot_ : 0);
+      c.backoff = std::max(0, c.backoff - consumed);
+      c.counting = false;
+    }
+  }
+
+  void OnTxSuccess(wifi::ContenderId id) {
+    contenders_[id].cw = contenders_[id].cw_min;
+    contenders_[id].backoff = -1;
+  }
+
+  void OnTxFailure(wifi::ContenderId id) {
+    Contender& c = contenders_[id];
+    c.cw = std::min(c.cw * 2 + 1, c.cw_max);
+    c.backoff = -1;
+    c.counting = false;
+  }
+
+  void OnRetryDrop(wifi::ContenderId id) {
+    contenders_[id].cw = contenders_[id].cw_min;
+    contenders_[id].backoff = -1;
+  }
+
+ private:
+  struct Contender {
+    sim::Time base;
+    int backoff;
+    int cw;
+    bool counting;
+    bool in_backlog;
+    sim::Duration aifs;
+    int cw_min;
+    int cw_max;
+  };
+
+  void Unlink(wifi::ContenderId id) {
+    order_.erase(std::remove(order_.begin(), order_.end(), id), order_.end());
+  }
+
+  static void DrawIfNeeded(Contender& c, sim::Rng& rng) {
+    if (c.backoff < 0) {
+      c.backoff = static_cast<int>(rng.UniformInt(0, c.cw));
+    }
+  }
+
+  [[nodiscard]] sim::Time Candidate(const Contender& c) const {
+    return c.base + static_cast<sim::Duration>(c.backoff) * slot_;
+  }
+
+  sim::Duration slot_;
+  std::vector<Contender> contenders_;
+  std::vector<wifi::ContenderId> order_;  ///< backlog, insertion-ordered.
+};
+
+TEST(EdcaCoreDifferential, MatchesScalarReferenceOverRandomizedRounds) {
+  constexpr int kContenders = 12;
+  constexpr int kRounds = 100'000;
+  const sim::Duration slot = sim::Micros(9);
+  wifi::EdcaCore core(slot);
+  ScalarEdcaReference ref(slot);
+  // Both machines consume from identically seeded streams: any divergence
+  // in draw ORDER (not just draw values) desynchronizes the streams and
+  // shows up in the next state audit.
+  sim::Rng core_rng(0xEDCA0001);
+  sim::Rng ref_rng(0xEDCA0001);
+  sim::Rng control(0xC0FFEE);
+
+  // Mixed access-category timing: VO/VI/BE/BK-flavoured AIFS and CW ladders,
+  // three contenders of each, so sweeps always mix short and long windows.
+  const struct {
+    sim::Duration aifs;
+    int cw_min;
+    int cw_max;
+  } kParams[] = {
+      {slot * 2, 3, 7},
+      {slot * 2, 7, 15},
+      {slot * 3, 15, 1023},
+      {slot * 7, 15, 1023},
+  };
+  for (int i = 0; i < kContenders; ++i) {
+    const auto& p = kParams[i % 4];
+    ASSERT_EQ(core.Add(p.aifs, p.cw_min, p.cw_max),
+              ref.Add(p.aifs, p.cw_min, p.cw_max));
+  }
+
+  sim::Time now = 0;
+  std::vector<wifi::ContenderId> core_winners;
+  std::vector<wifi::ContenderId> ref_winners;
+  int arbitrations = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    // Membership churn while the medium is busy: joins, leaves, and the
+    // leave-then-rejoin-before-the-next-sweep pattern that stresses the
+    // batched core's stamp mechanism (the stale backlog entry must neither
+    // draw nor win, or the RNG streams shift).
+    const auto churn = static_cast<int>(control.UniformInt(0, 3));
+    for (int k = 0; k < churn; ++k) {
+      const auto id = static_cast<wifi::ContenderId>(
+          control.UniformInt(0, kContenders - 1));
+      if (core.in_backlog(id)) {
+        core.Leave(id);
+        ref.Leave(id);
+        if (control.Bernoulli(0.5)) {
+          core.Join(id, now, /*medium_idle=*/false);
+          ref.Join(id, now, /*medium_idle=*/false);
+        }
+      } else {
+        core.Join(id, now, /*medium_idle=*/false);
+        ref.Join(id, now, /*medium_idle=*/false);
+      }
+    }
+
+    now += control.UniformInt(1, 200) * sim::Micros(1);
+    sim::Time core_e = core.BeginIdle(now, core_rng);
+    const sim::Time ref_begin = ref.BeginIdle(now, ref_rng);
+    ASSERT_EQ(core_e, ref_begin) << "round " << round;
+
+    // Occasional mid-idle churn plus re-evaluation — the EarliestCandidate
+    // path, where a joiner starts counting immediately on the idle medium.
+    if (control.Bernoulli(0.25)) {
+      const auto id = static_cast<wifi::ContenderId>(
+          control.UniformInt(0, kContenders - 1));
+      if (core.in_backlog(id)) {
+        core.Leave(id);
+        ref.Leave(id);
+      } else {
+        core.Join(id, now, /*medium_idle=*/true);
+        ref.Join(id, now, /*medium_idle=*/true);
+      }
+      core_e = core.EarliestCandidate(core_rng);
+      const sim::Time ref_e = ref.EarliestCandidate(ref_rng);
+      ASSERT_EQ(core_e, ref_e) << "round " << round;
+    }
+
+    if (core_e != wifi::EdcaCore::kNoCandidate) {
+      core_winners.clear();
+      ref_winners.clear();
+      core.Arbitrate(core_e, core_winners);
+      ref.Arbitrate(core_e, ref_winners);
+      ASSERT_EQ(core_winners, ref_winners) << "round " << round;
+      ASSERT_FALSE(core_winners.empty()) << "round " << round;
+      ++arbitrations;
+      // Transmission outcomes walk the CW ladder both ways; some winners
+      // drain their queue and leave.
+      for (const wifi::ContenderId id : core_winners) {
+        const double roll = control.Uniform(0.0, 1.0);
+        if (roll < 0.55) {
+          core.OnTxSuccess(id);
+          ref.OnTxSuccess(id);
+          if (control.Bernoulli(0.3)) {
+            core.Leave(id);
+            ref.Leave(id);
+          }
+        } else if (roll < 0.9) {
+          core.OnTxFailure(id);
+          ref.OnTxFailure(id);
+        } else {
+          core.OnRetryDrop(id);
+          ref.OnRetryDrop(id);
+          if (control.Bernoulli(0.5)) {
+            core.Leave(id);
+            ref.Leave(id);
+          }
+        }
+      }
+      now = core_e + control.UniformInt(1, 3'000) * sim::Micros(1);
+    }
+
+    // Full-state audit every round: the columns the channel reads back.
+    for (wifi::ContenderId id = 0; id < kContenders; ++id) {
+      ASSERT_EQ(core.cw(id), ref.cw(id)) << "round " << round << " id " << id;
+      ASSERT_EQ(core.backoff(id), ref.backoff(id))
+          << "round " << round << " id " << id;
+      ASSERT_EQ(core.counting(id), ref.counting(id))
+          << "round " << round << " id " << id;
+      ASSERT_EQ(core.in_backlog(id), ref.in_backlog(id))
+          << "round " << round << " id " << id;
+    }
+  }
+  // The workload must actually contend most rounds, or the test proves
+  // nothing about arbitration.
+  EXPECT_GT(arbitrations, kRounds / 2);
+}
+
+// ---------------------------------------------------- MergeShardStreams ----
+
+TEST(MergeShardStreams, OrdersByTimeWithShardIndexTieBreak) {
+  const std::string a = "{\"t\":5,\"s\":\"a1\"}\n{\"t\":9,\"s\":\"a2\"}\n";
+  const std::string b = "{\"t\":5,\"s\":\"b1\"}\n{\"t\":7,\"s\":\"b2\"}\n";
+  EXPECT_EQ(fleet::MergeShardStreams({a, b}),
+            "{\"t\":5,\"s\":\"a1\"}\n{\"t\":5,\"s\":\"b1\"}\n"
+            "{\"t\":7,\"s\":\"b2\"}\n{\"t\":9,\"s\":\"a2\"}\n");
+}
+
+TEST(MergeShardStreams, UntimedLinesInheritThePrecedingStamp) {
+  // The summary annotation rides with its t:8 predecessor past shard 1's
+  // t:9 line; negative stamps parse and order correctly too.
+  const std::string a = "{\"t\":8}\n{\"summary\":1}\n";
+  const std::string b = "{\"t\":-3}\n{\"t\":9}\n";
+  EXPECT_EQ(fleet::MergeShardStreams({a, b}),
+            "{\"t\":-3}\n{\"t\":8}\n{\"summary\":1}\n{\"t\":9}\n");
+}
+
+TEST(MergeShardStreams, SingleStreamAndUntimedInputsAreIdentity) {
+  // A single shard must pass through byte-for-byte — this is what makes the
+  // arm-merge safe on streams whose lines carry no "t" field at all.
+  const std::string only = "{\"a\":1}\n{\"t\":4}\nno trailing newline";
+  EXPECT_EQ(fleet::MergeShardStreams({only}), only);
+  // Fully untimed streams concatenate whole-stream in shard order.
+  EXPECT_EQ(fleet::MergeShardStreams({"x\ny\n", "p\nq\n"}), "x\ny\np\nq\n");
+  EXPECT_EQ(fleet::MergeShardStreams({}), "");
+}
+
 TEST(FramePathFleet, ShardedContentionDigestIsWorkerCountInvariant) {
   constexpr std::size_t kTasks = 8;
   auto digest_for = [](std::size_t index) {
@@ -310,6 +616,46 @@ TEST(FramePathFleet, ShardedContentionDigestIsWorkerCountInvariant) {
   EXPECT_EQ(serial.results, sharded.results);
   // Sanity: the workload actually simulated something.
   for (const auto digest : serial.results) EXPECT_GT(digest, 1'000'000u);
+}
+
+TEST(FramePathFleet, ArmShardedWildPopulationIsByteIdentical) {
+  // BSS-group intra-scenario sharding: a serial unsharded population versus
+  // the same population with each environment's baseline/Kwikr arms split
+  // into separate tasks across 4 workers. Everything observable — the
+  // paired statistics, the event counts, and the merged timeline bytes —
+  // must match exactly. Under ThreadSanitizer this is the run that races
+  // two arms of one environment on different threads.
+  scenario::WildConfig config;
+  config.calls = 5;
+  config.base_seed = 77;
+  config.call_duration = sim::Seconds(2);
+  config.timeline = true;
+  config.timeline_interval = sim::Millis(50);
+
+  config.jobs = 1;
+  config.shard_arms = false;
+  const scenario::WildResults serial = scenario::RunWildPopulation(config);
+
+  config.jobs = 4;
+  config.shard_arms = true;
+  const scenario::WildResults sharded = scenario::RunWildPopulation(config);
+
+  ASSERT_TRUE(serial.failures.empty());
+  ASSERT_TRUE(sharded.failures.empty());
+  ASSERT_EQ(serial.calls.size(), sharded.calls.size());
+  for (std::size_t i = 0; i < serial.calls.size(); ++i) {
+    const scenario::WildCallResult& a = serial.calls[i];
+    const scenario::WildCallResult& b = sharded.calls[i];
+    EXPECT_EQ(a.p95_tq_ms, b.p95_tq_ms) << "call " << i;
+    EXPECT_EQ(a.p95_ta_ms, b.p95_ta_ms) << "call " << i;
+    EXPECT_EQ(a.p95_tc_ms, b.p95_tc_ms) << "call " << i;
+    EXPECT_EQ(a.probe_samples, b.probe_samples) << "call " << i;
+    EXPECT_EQ(a.baseline_rate_kbps, b.baseline_rate_kbps) << "call " << i;
+    EXPECT_EQ(a.kwikr_rate_kbps, b.kwikr_rate_kbps) << "call " << i;
+    EXPECT_EQ(a.events_executed, b.events_executed) << "call " << i;
+    EXPECT_EQ(a.timeline_jsonl, b.timeline_jsonl) << "call " << i;
+    EXPECT_FALSE(a.timeline_jsonl.empty()) << "call " << i;
+  }
 }
 
 }  // namespace

@@ -604,6 +604,206 @@ TEST(EventLoop, DifferentialAgainstReferenceScheduler) {
   EXPECT_EQ(loop.now(), ref.now());
 }
 
+// --------------------------------------------------------- timer wheel ----
+//
+// The hierarchical wheel (L0: 256 x 8.192 us buckets, L1: 64 x 2.097 ms
+// buckets, heap overflow past 134.2 ms) must be observationally identical to
+// the plain 4-ary heap. Below kWheelMinPopulation pending timers inserts
+// take the heap path, so these tests first build a padding population that
+// forces subsequent inserts into the wheel proper.
+
+namespace {
+
+constexpr Time kL0TickSpan = Time{1} << 13;   // one L0 bucket
+constexpr Time kL1TickSpan = Time{1} << 21;   // one L1 bucket (256 L0 ticks)
+constexpr Time kL1Horizon = kL1TickSpan * 64; // beyond: overflow heap
+
+/// Schedules enough far-future timers to push TimerEntries() past the
+/// sparse-regime threshold, so the timers a test schedules NEXT land in the
+/// wheel. Returns their (time, tag) pairs so tests can fold them into the
+/// expected order.
+std::vector<std::pair<Time, int>> PadPopulation(EventLoop& loop,
+                                                std::vector<int>& log,
+                                                int first_tag) {
+  std::vector<std::pair<Time, int>> padded;
+  for (int i = 0; i < 96; ++i) {
+    const Time at = Seconds(2) + i * Micros(10);
+    const int tag = first_tag + i;
+    loop.ScheduleAt(at, [tag, &log] { log.push_back(tag); });
+    padded.emplace_back(at, tag);
+  }
+  return padded;
+}
+
+}  // namespace
+
+TEST(EventLoop, WheelCascadeBoundariesPreserveTimeOrder) {
+  EventLoop loop;
+  std::vector<int> log;
+  std::vector<std::pair<Time, int>> scheduled = PadPopulation(loop, log, 1000);
+
+  // Every boundary the bucket math can get wrong: around an L0 bucket edge,
+  // the exact L0 window edge where the first cascade fires, an L1 bucket
+  // edge (the tick == window << 8 collision case, where the cascaded
+  // bucket's first L0 tick IS the cascade tick), the L1 horizon, and past
+  // it into the overflow heap — plus same-tick duplicates for FIFO.
+  const Time boundary[] = {
+      kL0TickSpan - 1, kL0TickSpan, kL0TickSpan + 1,
+      kL0TickSpan * 255, kL0TickSpan * 256, kL0TickSpan * 256 + 1,
+      kL1TickSpan * 2, kL1TickSpan * 2,              // collision tick, FIFO
+      kL1TickSpan * 2 + kL0TickSpan,
+      kL1Horizon - 1, kL1Horizon, kL1Horizon + kL1TickSpan,
+      kL0TickSpan, kL1Horizon,                       // more duplicates
+  };
+  int tag = 0;
+  for (const Time at : boundary) {
+    loop.ScheduleAt(at, [tag, &log] { log.push_back(tag); });
+    scheduled.emplace_back(at, tag);
+    ++tag;
+  }
+  loop.Run();
+
+  // Expected: time order, schedule order within a tick (stable sort).
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<int> expect;
+  for (const auto& [at, t] : scheduled) expect.push_back(t);
+  EXPECT_EQ(log, expect);
+}
+
+TEST(EventLoop, CancelInsideWheelBuckets) {
+  EventLoop loop;
+  std::vector<int> log;
+  auto scheduled = PadPopulation(loop, log, 1000);
+
+  // Spread timers across L0, L1, and the overflow heap, then cancel every
+  // other one. The (slot, generation) ids must cancel entries that already
+  // sit inside wheel buckets, and the survivors' order must be untouched.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 120; ++i) {
+    const Time at = (i % 3 == 0) ? Micros(50) + i * kL0TickSpan
+                  : (i % 3 == 1) ? Millis(5) + i * kL1TickSpan / 4
+                                 : Millis(200) + i * Millis(1);
+    const int tag = i;
+    ids.push_back(loop.ScheduleAt(at, [tag, &log] { log.push_back(tag); }));
+    scheduled.emplace_back(at, tag);
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(loop.Cancel(ids[i]));
+    EXPECT_FALSE(loop.Cancel(ids[i]));  // second cancel: stale id.
+  }
+  loop.Run();
+
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<int> expect;
+  for (const auto& [at, t] : scheduled) {
+    if (t < 1000 && t % 2 == 0) continue;  // cancelled
+    expect.push_back(t);
+  }
+  EXPECT_EQ(log, expect);
+}
+
+TEST(EventLoop, WheelIdleResyncSurvivesFarFutureCancelChurn) {
+  // The RTO pattern that motivated the backward resync: a burst of activity
+  // leaves far-future guard timers that all get cancelled, the reap-walk
+  // parks the scan position ahead of the clock, and the next activity
+  // phase's timers must still dispatch in exact (time, seq) order.
+  EventLoop loop;
+  std::vector<int> log;
+  for (int phase = 0; phase < 3; ++phase) {
+    std::vector<EventId> guards;
+    for (int i = 0; i < 128; ++i) {
+      guards.push_back(loop.ScheduleIn(Millis(50) + i * Micros(100), [] {}));
+    }
+    for (const EventId id : guards) EXPECT_TRUE(loop.Cancel(id));
+
+    std::vector<std::pair<Time, int>> scheduled;
+    for (int i = 0; i < 128; ++i) {
+      const Time at = loop.now() + Micros(5) + (i % 17) * Micros(40);
+      const int tag = phase * 1000 + i;
+      loop.ScheduleAt(at, [tag, &log] { log.push_back(tag); });
+      scheduled.emplace_back(at, tag);
+    }
+    log.clear();
+    loop.Run();
+    std::stable_sort(scheduled.begin(), scheduled.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<int> expect;
+    for (const auto& [at, t] : scheduled) expect.push_back(t);
+    ASSERT_EQ(log, expect) << "phase " << phase;
+    // Idle gap before the next phase so the resync actually runs.
+    loop.RunUntil(loop.now() + Seconds(1));
+  }
+}
+
+// 10^5 randomized schedule/cancel/step operations executed in lockstep on a
+// wheel-mode loop and a heap-only loop: the wheel (with its sparse-regime
+// heap fallback and cascades) must be observationally indistinguishable
+// from the plain heap — same execution order, clock, cancel results, and
+// pending counts. Deltas mix the now-queue, L0, L1, and overflow scales so
+// the population migrates between every regime.
+TEST(EventLoop, WheelDifferentialAgainstHeapOnlyScheduler) {
+  EventLoop wheel(SchedulerMode::kWheel);
+  EventLoop heap(SchedulerMode::kHeapOnly);
+  Rng rng(0x5EED'0002u);
+  std::vector<int> wheel_log;
+  std::vector<int> heap_log;
+  std::vector<EventId> wheel_ids;
+  std::vector<EventId> heap_ids;
+  int next_tag = 0;
+
+  for (int op = 0; op < 100'000; ++op) {
+    const auto roll = rng.UniformInt(0, 9);
+    if (roll < 5) {  // schedule (50%), mixed horizon scales
+      const auto scale = rng.UniformInt(0, 3);
+      const Duration delta =
+          scale == 0 ? rng.UniformInt(0, 100)              // same tick-ish
+          : scale == 1 ? rng.UniformInt(0, Millis(2))      // L0 span
+          : scale == 2 ? rng.UniformInt(0, Millis(130))    // L1 span
+                       : rng.UniformInt(0, Seconds(1));    // overflow heap
+      const Time at = wheel.now() + delta;
+      const int tag = next_tag++;
+      wheel_ids.push_back(
+          wheel.ScheduleAt(at, [tag, &wheel_log] { wheel_log.push_back(tag); }));
+      heap_ids.push_back(
+          heap.ScheduleAt(at, [tag, &heap_log] { heap_log.push_back(tag); }));
+    } else if (roll < 8) {  // cancel a random past id, maybe stale (30%)
+      if (!wheel_ids.empty()) {
+        const auto pick = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<int>(wheel_ids.size()) - 1));
+        ASSERT_EQ(wheel.Cancel(wheel_ids[pick]), heap.Cancel(heap_ids[pick]))
+            << "op " << op;
+      }
+    } else {  // step one event (20%)
+      const bool wheel_ran = wheel.Step();
+      const bool heap_ran = heap.Step();
+      ASSERT_EQ(wheel_ran, heap_ran) << "op " << op;
+      if (wheel_ran) {
+        ASSERT_EQ(wheel_log.size(), heap_log.size()) << "op " << op;
+        ASSERT_EQ(wheel_log.back(), heap_log.back()) << "op " << op;
+        ASSERT_EQ(wheel.now(), heap.now()) << "op " << op;
+      }
+    }
+    if (op % 1024 == 0) {
+      ASSERT_EQ(wheel.pending(), heap.pending()) << "op " << op;
+    }
+  }
+  wheel.Run();
+  heap.Run();
+  EXPECT_EQ(wheel_log, heap_log);
+  EXPECT_EQ(wheel.now(), heap.now());
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_EQ(heap.pending(), 0u);
+  EXPECT_EQ(wheel.executed(), heap.executed());
+}
+
 // ----------------------------------------------------------------- Rng ----
 
 TEST(Rng, DeterministicForSameSeed) {
