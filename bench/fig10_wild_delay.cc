@@ -4,14 +4,35 @@
 // the distribution of those per-call percentiles (paper Section 8.4; the
 // production study covered 119,789 calls — we scale the population down and
 // keep the statistic definitions identical).
+//
+// Two execution modes:
+//
+//  * Legacy in-RAM mode (default): RunWildPopulation holds every call's
+//    result in a vector. Fine up to a few thousand calls.
+//  * Spill mode (--spill-dir DIR): the fleet::ShardRunner streams per-call
+//    results to JSONL spill files from forked worker processes
+//    (--processes P), optionally as one shard of a cluster-wide sweep
+//    (--shard k/n), checkpointing every --checkpoint-every calls so a
+//    killed run continues with --resume. Peak RSS is then independent of
+//    --calls: percentiles come from mergeable stats::Histogram sketches
+//    (exact bin-count merge), not from in-RAM sample vectors, so a
+//    million-call sweep runs in a bounded footprint and the merged
+//    artifacts are byte-identical for any worker x shard split.
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "fleet/shard_runner.h"
 #include "obs/exporters.h"
+#include "obs/registry_io.h"
 #include "scenario/wild_population.h"
+#include "stats/histogram.h"
 
 using namespace kwikr;
 
@@ -25,6 +46,290 @@ std::string ConcatTimelines(const scenario::WildResults& results) {
   return out;
 }
 
+bool EnsureDir(const std::string& path) {
+  return ::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST;
+}
+
+/// Delay-distribution accumulator shared by both modes; in spill mode it is
+/// fed one decoded call at a time so nothing per-call stays resident.
+struct DelayAccumulator {
+  // [0, 1000] ms at ~0.5 ms resolution: queueing delays beyond a second
+  // clamp into the top bin but keep their exact max.
+  static constexpr stats::Histogram::Config kBinning{0.0, 1000.0, 2048};
+  stats::Histogram self_ms{kBinning};
+  stats::Histogram cross_ms{kBinning};
+  stats::Histogram total_ms{kBinning};
+  std::uint64_t measurable = 0;
+  std::uint64_t cross_dominated = 0;
+  std::uint64_t events = 0;
+
+  void Add(const scenario::WildCallResult& call) {
+    events += call.events_executed;
+    if (call.probe_samples < 10) return;
+    self_ms.Add(call.p95_ta_ms);
+    cross_ms.Add(call.p95_tc_ms);
+    total_ms.Add(call.p95_tq_ms);
+    if (call.p95_tq_ms > 1.0) {
+      ++measurable;
+      if (call.p95_tc_ms > call.p95_ta_ms) ++cross_dominated;
+    }
+  }
+
+  [[nodiscard]] double DominatedPct() const {
+    return measurable > 0 ? 100.0 * static_cast<double>(cross_dominated) /
+                                static_cast<double>(measurable)
+                          : 0.0;
+  }
+
+  void PrintTable() const {
+    std::printf("distribution of per-call 95th%%ile queueing delay (ms), "
+                "n=%lld calls:\n\n",
+                static_cast<long long>(total_ms.count()));
+    std::printf("%-18s %8s %8s %8s %8s %8s\n", "", "50th", "75th", "90th",
+                "95th", "99th");
+    auto row = [](const char* label, const stats::Histogram& h) {
+      std::printf("%-18s %8.1f %8.1f %8.1f %8.1f %8.1f\n", label,
+                  h.Percentile(50.0), h.Percentile(75.0), h.Percentile(90.0),
+                  h.Percentile(95.0), h.Percentile(99.0));
+    };
+    row("Skype (self)", self_ms);
+    row("Cross-traffic", cross_ms);
+    row("Total", total_ms);
+    std::printf("\ncross-traffic exceeds self-delay in %.0f%% of calls with "
+                "measurable delay\n\n",
+                DominatedPct());
+  }
+
+  /// Canonical JSON for the byte-compare gates: every number is either an
+  /// exact integer or a %.17g double of a deterministic quantity.
+  [[nodiscard]] std::string Json(int calls) const {
+    char buffer[256];
+    std::string out = "{\"bench\":\"fig10_wild_delay\",\"mode\":\"spill\"";
+    std::snprintf(buffer, sizeof(buffer), ",\"calls\":%d,\"n\":%lld", calls,
+                  static_cast<long long>(total_ms.count()));
+    out += buffer;
+    auto series = [&](const char* name, const stats::Histogram& h) {
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"%s\":{\"p50\":%.17g,\"p75\":%.17g,\"p90\":%.17g,"
+                    "\"p95\":%.17g,\"p99\":%.17g,\"max\":%.17g}",
+                    name, h.Percentile(50.0), h.Percentile(75.0),
+                    h.Percentile(90.0), h.Percentile(95.0),
+                    h.Percentile(99.0), h.max());
+      out += buffer;
+    };
+    series("self_ms", self_ms);
+    series("cross_ms", cross_ms);
+    series("total_ms", total_ms);
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"cross_dominates_pct\":%.17g,\"events\":%llu}\n",
+                  DominatedPct(), static_cast<unsigned long long>(events));
+    out += buffer;
+    return out;
+  }
+};
+
+/// --spill-dir mode: shard-runner execution + hierarchical merge.
+int RunSpillMode(int argc, char** argv, const char* spill_dir) {
+  scenario::WildConfig wild;
+  const int calls = bench::ParseIntFlag(argc, argv, "--calls", 150);
+  wild.base_seed = 1010;
+  const int call_seconds =
+      bench::ParseIntFlag(argc, argv, "--call-seconds", 60);
+  wild.call_duration = sim::Seconds(call_seconds);
+  wild.jobs = bench::ParseJobs(argc, argv);
+  const char* timeline_out =
+      bench::ParseStringFlag(argc, argv, "--timeline-out");
+  wild.timeline =
+      timeline_out != nullptr || bench::HasFlag(argc, argv, "--timeline");
+  wild.timeline_interval = sim::Millis(
+      bench::ParseIntFlag(argc, argv, "--timeline-interval-ms", 10));
+  const bool metrics_on = bench::MetricsRequested(argc, argv) ||
+                          bench::HasFlag(argc, argv, "--metrics");
+
+  fleet::ShardRunnerConfig config;
+  config.total_items = static_cast<std::uint64_t>(std::max(calls, 0));
+  const char* shard_text =
+      bench::ParseStringFlag(argc, argv, "--shard", "0/1");
+  if (std::sscanf(shard_text, "%d/%d", &config.shard.index,
+                  &config.shard.count) != 2 ||
+      config.shard.count < 1 || config.shard.index < 0 ||
+      config.shard.index >= config.shard.count) {
+    std::fprintf(stderr, "--shard wants k/n with 0 <= k < n, got '%s'\n",
+                 shard_text);
+    return 2;
+  }
+  config.processes = bench::ParseIntFlag(argc, argv, "--processes", 1);
+  config.spill_dir = spill_dir;
+  config.checkpoint_every = static_cast<std::uint64_t>(std::max(
+      bench::ParseIntFlag(argc, argv, "--checkpoint-every", 256), 1));
+  config.resume = bench::HasFlag(argc, argv, "--resume");
+  // Everything that shapes per-call bytes; deliberately NOT --processes,
+  // --jobs, or --checkpoint-every — those repartition work without changing
+  // any result, and a resume may legally alter them per worker topology
+  // rules (the manifest pins processes per shard separately).
+  {
+    char fp[256];
+    std::snprintf(fp, sizeof(fp),
+                  "fig10;calls=%d;seed=%llu;call_seconds=%d;shards=%d;"
+                  "metrics=%d;timeline=%d;interval_ms=%d",
+                  calls, static_cast<unsigned long long>(wild.base_seed),
+                  call_seconds, config.shard.count, metrics_on ? 1 : 0,
+                  wild.timeline ? 1 : 0,
+                  bench::ParseIntFlag(argc, argv, "--timeline-interval-ms",
+                                      10));
+    config.fingerprint = fp;
+  }
+
+  if (!EnsureDir(config.spill_dir)) {
+    std::fprintf(stderr, "cannot create spill dir %s\n",
+                 config.spill_dir.c_str());
+    return 1;
+  }
+
+  fleet::ShardRunStatus run_status;
+  run_status.ok = true;
+  double run_wall_ms = 0.0;
+  if (!bench::HasFlag(argc, argv, "--merge-only")) {
+    fleet::ShardRunner runner(
+        config, [&](std::uint64_t begin, std::uint64_t end) {
+          fleet::ChunkOutput out;
+          scenario::WildConfig chunk_config = wild;
+          obs::MetricsRegistry chunk_registry;
+          if (metrics_on) chunk_config.metrics = &chunk_registry;
+          scenario::RunWildRange(
+              chunk_config, begin, end,
+              [&](std::uint64_t index, scenario::WildCallResult&& result) {
+                out.results_jsonl +=
+                    scenario::EncodeWildCallLine(index, result);
+                out.timeline_jsonl += result.timeline_jsonl;
+              });
+          if (metrics_on) {
+            out.metrics_jsonl = obs::SerializeRegistry(chunk_registry);
+          }
+          return out;
+        });
+    bench::WallTimer timer;
+    run_status = runner.Run();
+    run_wall_ms = timer.ElapsedMs();
+    if (!run_status.ok) {
+      std::fprintf(stderr, "fleet: %s\n", run_status.error.c_str());
+      return 1;
+    }
+    std::printf("fleet: shard %d/%d finished %llu calls (%llu resumed from "
+                "checkpoints) in %.1f ms with %d worker process(es)\n",
+                config.shard.index, config.shard.count,
+                static_cast<unsigned long long>(run_status.items_done),
+                static_cast<unsigned long long>(run_status.items_resumed),
+                run_wall_ms, std::max(config.processes, 1));
+  }
+
+  // ---- hierarchical merge: worker spills -> shard -> global artifacts ----
+  const std::string merged_dir = config.spill_dir + "/merged";
+  if (!EnsureDir(merged_dir)) {
+    std::fprintf(stderr, "cannot create %s\n", merged_dir.c_str());
+    return 1;
+  }
+
+  DelayAccumulator accumulator;
+  obs::MetricsRegistry registry;
+  std::uint64_t decode_failures = 0;
+  std::ofstream merged_timeline;
+  std::ofstream extra_timeline;
+  if (wild.timeline) {
+    merged_timeline.open(merged_dir + "/timeline.jsonl",
+                         std::ios::binary | std::ios::trunc);
+    if (timeline_out != nullptr) {
+      extra_timeline.open(timeline_out, std::ios::binary | std::ios::trunc);
+    }
+  }
+
+  fleet::MergeConsumer consumer;
+  consumer.on_result_line = [&](std::uint64_t index, std::string_view line) {
+    scenario::WildCallResult call;
+    std::uint64_t decoded_index = 0;
+    if (!scenario::DecodeWildCallLine(line, &decoded_index, &call) ||
+        decoded_index != index) {
+      ++decode_failures;
+      return;
+    }
+    accumulator.Add(call);
+  };
+  if (metrics_on) consumer.metrics = &registry;
+  if (wild.timeline) {
+    consumer.on_timeline = [&](std::string_view bytes) {
+      merged_timeline.write(bytes.data(),
+                            static_cast<std::streamsize>(bytes.size()));
+      if (extra_timeline.is_open()) {
+        extra_timeline.write(bytes.data(),
+                             static_cast<std::streamsize>(bytes.size()));
+      }
+    };
+  }
+
+  const fleet::MergeStatus merge = fleet::MergeShardSpills(config, consumer);
+  if (!merge.ok) {
+    std::fprintf(stderr, "merge: %s\n", merge.error.c_str());
+    return 1;
+  }
+  const std::uint64_t peak_rss =
+      std::max(merge.peak_worker_rss_kb, run_status.peak_worker_rss_kb);
+  char headline[512];
+  std::snprintf(
+      headline, sizeof(headline),
+      "{\"bench\":\"fleet_shard\",\"calls\":%d,\"shard\":\"%d/%d\","
+      "\"processes\":%d,\"jobs\":%d,\"checkpoint_every\":%llu,"
+      "\"items_done\":%llu,\"items_resumed\":%llu,\"wall_ms\":%.1f,"
+      "\"calls_per_sec\":%.2f,\"peak_worker_rss_kb\":%llu,"
+      "\"rss_kb_per_1e5_calls\":%.1f}",
+      calls, config.shard.index, config.shard.count,
+      std::max(config.processes, 1), wild.jobs,
+      static_cast<unsigned long long>(config.checkpoint_every),
+      static_cast<unsigned long long>(run_status.items_done),
+      static_cast<unsigned long long>(run_status.items_resumed), run_wall_ms,
+      run_wall_ms > 0.0
+          ? static_cast<double>(run_status.items_done) / (run_wall_ms / 1e3)
+          : 0.0,
+      static_cast<unsigned long long>(peak_rss),
+      calls > 0 ? static_cast<double>(peak_rss) * 1e5 /
+                      static_cast<double>(calls)
+                : 0.0);
+  if (!merge.complete) {
+    // Nothing wrong: another shard of the cluster sweep is still running
+    // (or this machine only owns a slice). Report and exit cleanly.
+    std::printf("merge pending: %s\n", merge.error.c_str());
+    std::printf("%s\n", headline);
+    return 0;
+  }
+  if (decode_failures > 0) {
+    std::fprintf(stderr,
+                 "merge: %llu spill lines failed to decode — corrupt spill\n",
+                 static_cast<unsigned long long>(decode_failures));
+    return 1;
+  }
+
+  accumulator.PrintTable();
+  const std::string percentiles = accumulator.Json(calls);
+  {
+    std::ofstream out(merged_dir + "/percentiles.json",
+                      std::ios::binary | std::ios::trunc);
+    out << percentiles;
+  }
+  std::printf("merged %llu calls -> %s/percentiles.json\n",
+              static_cast<unsigned long long>(merge.items),
+              merged_dir.c_str());
+  if (metrics_on) {
+    obs::WritePrometheus(registry, (merged_dir + "/metrics.prom").c_str());
+    bench::ExportMetrics(argc, argv, registry);
+  }
+  if (wild.timeline) {
+    merged_timeline.close();
+    std::printf("timeline: merged stream at %s/timeline.jsonl\n",
+                merged_dir.c_str());
+  }
+  std::printf("%s\n", headline);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -33,10 +338,25 @@ int main(int argc, char** argv) {
                 "cross-traffic.\nPaper: cross-traffic dominates; worst 5% of "
                 "calls see >= ~98 ms of cross-traffic delay.");
 
+  if (const char* spill_dir =
+          bench::ParseStringFlag(argc, argv, "--spill-dir")) {
+    return RunSpillMode(argc, argv, spill_dir);
+  }
+  if (bench::HasFlag(argc, argv, "--processes") ||
+      bench::HasFlag(argc, argv, "--shard") ||
+      bench::HasFlag(argc, argv, "--resume")) {
+    std::fprintf(stderr,
+                 "--processes/--shard/--resume need --spill-dir DIR (the "
+                 "multi-process runner streams results through spill "
+                 "files)\n");
+    return 2;
+  }
+
   scenario::WildConfig config;
   config.calls = bench::ParseIntFlag(argc, argv, "--calls", 150);
   config.base_seed = 1010;
-  config.call_duration = sim::Seconds(60);
+  config.call_duration =
+      sim::Seconds(bench::ParseIntFlag(argc, argv, "--call-seconds", 60));
   config.jobs = bench::ParseJobs(argc, argv);
   // --shard-arms: BSS-group intra-scenario sharding — each environment's
   // baseline/Kwikr arms become separate fleet tasks (bit-identical results;

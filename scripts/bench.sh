@@ -9,6 +9,13 @@
 #   BENCH_channel.json   — micro_channel: saturated multi-AC EDCA contention
 #       plus a ping-pair probe through wifi::Channel (frames/sec,
 #       allocs/frame — must be zero, busy fraction, peak RSS).
+#   BENCH_fleet.json     — spill-mode fig10 sweep through the multi-process
+#       shard runner (calls/sec, peak worker RSS, RSS per 10^5 calls). Two
+#       population sizes gate the flat-memory claim: peak worker RSS of the
+#       4x-larger sweep must stay within 1.35x of the smaller one, because
+#       spill streaming makes the footprint independent of call count. The
+#       merged percentiles are also byte-compared between --processes 1 and
+#       --processes 4.
 #   BENCH_fig10.json     — fixed-seed fig10 wild-population sweep
 #       (simulated events/sec inside a full scenario, wall time, peak RSS),
 #       plus a byte-identity check of --metrics-out between --jobs 1 and
@@ -19,9 +26,10 @@
 #       timeline bytes are also compared between --jobs 1 and --jobs 8, and
 #       the timeline run's peak RSS is gated at 2.5x the sampling-off run.
 #
-# Usage: scripts/bench.sh [--quick] [--no-fig10]
+# Usage: scripts/bench.sh [--quick] [--no-fig10] [--no-fleet]
 #   --quick     shrink the micro workload (CI smoke; not for committing).
 #   --no-fig10  skip the scenario sweep (micro numbers only).
+#   --no-fleet  skip the spill-mode shard-runner sweep.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,13 +39,19 @@ jobs=$(nproc 2>/dev/null || echo 4)
 
 quick=""
 run_fig10=1
+run_fleet=1
 for arg in "$@"; do
   case "$arg" in
     --quick) quick="--quick" ;;
     --no-fig10) run_fig10=0 ;;
-    *) echo "usage: scripts/bench.sh [--quick] [--no-fig10]" >&2; exit 2 ;;
+    --no-fleet) run_fleet=0 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--no-fig10] [--no-fleet]" >&2
+       exit 2 ;;
   esac
 done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
 
 echo "== build (Release) =="
 # ensure_build_dir wipes a build-bench poisoned by a leftover sanitizer
@@ -55,8 +69,6 @@ echo "== micro_channel =="
 if [[ "$run_fig10" == 1 ]]; then
   echo "== fig10 fixed-seed sweep (150 calls, seed 1010) =="
   fig10=./build-bench/bench/fig10_wild_delay
-  tmp=$(mktemp -d)
-  trap 'rm -rf "$tmp"' EXIT
 
   "$fig10" --calls 150 --jobs 1 --metrics-out "$tmp/metrics_j1.json" \
     | tee "$tmp/fig10_j1.out"
@@ -112,8 +124,65 @@ if [[ "$run_fig10" == 1 ]]; then
     "(gate: 2.5x)"
 fi
 
+if [[ "$run_fleet" == 1 ]]; then
+  echo "== fleet: spill-mode shard-runner sweep =="
+  fig10=./build-bench/bench/fig10_wild_delay
+  # Two population sizes for the flat-memory gate; --quick shrinks both but
+  # keeps the 4x ratio the gate leans on.
+  small_calls=400
+  large_calls=1600
+  if [[ -n "$quick" ]]; then
+    small_calls=60
+    large_calls=240
+  fi
+
+  ensure_spill_dir "$tmp/fleet_small"
+  ensure_spill_dir "$tmp/fleet_large"
+  ensure_spill_dir "$tmp/fleet_serial"
+  "$fig10" --calls "$small_calls" --call-seconds 1 --processes 4 \
+    --checkpoint-every 64 --spill-dir "$tmp/fleet_small" \
+    | tee "$tmp/fleet_small.out"
+  "$fig10" --calls "$large_calls" --call-seconds 1 --processes 4 \
+    --checkpoint-every 64 --spill-dir "$tmp/fleet_large" \
+    | tee "$tmp/fleet_large.out"
+  "$fig10" --calls "$large_calls" --call-seconds 1 --processes 1 \
+    --checkpoint-every 64 --spill-dir "$tmp/fleet_serial" > /dev/null
+
+  echo "== determinism: merged percentiles across --processes 1 vs 4 =="
+  if ! cmp "$tmp/fleet_serial/merged/percentiles.json" \
+           "$tmp/fleet_large/merged/percentiles.json"; then
+    echo "FAIL: fleet percentiles differ between --processes 1 and 4" >&2
+    exit 1
+  fi
+  echo "fleet percentiles byte-identical between --processes 1 and 4"
+
+  echo "== gate: spill streaming must keep worker RSS flat =="
+  # Absolute RSS is machine-dependent; the *ratio* between a sweep and one
+  # 4x its size is not. In-RAM accumulation scales it ~linearly with the
+  # call count; spill streaming holds it at the checkpoint-chunk high-water
+  # mark, so anything past 1.35x is a regression toward buffering.
+  rss_small=$(grep -o '"peak_worker_rss_kb":[0-9]*' "$tmp/fleet_small.out" \
+    | cut -d: -f2)
+  rss_large=$(grep -o '"peak_worker_rss_kb":[0-9]*' "$tmp/fleet_large.out" \
+    | cut -d: -f2)
+  if (( rss_large * 100 > rss_small * 135 )); then
+    echo "FAIL: peak worker RSS grew from ${rss_small} kB (${small_calls}" \
+      "calls) to ${rss_large} kB (${large_calls} calls) — spill streaming" \
+      "is no longer flat-memory" >&2
+    exit 1
+  fi
+  echo "peak worker RSS ${rss_small} kB @ ${small_calls} calls vs" \
+    "${rss_large} kB @ ${large_calls} calls (gate: 1.35x)"
+
+  if [[ -z "$quick" ]]; then
+    grep '^{"bench":"fleet_shard"' "$tmp/fleet_large.out" | tail -1 \
+      > BENCH_fleet.json
+  fi
+fi
+
 echo "== results =="
 cat BENCH_eventloop.json
 cat BENCH_channel.json
 [[ "$run_fig10" == 1 ]] && cat BENCH_fig10.json
+[[ "$run_fleet" == 1 && -f BENCH_fleet.json ]] && cat BENCH_fleet.json
 echo "bench.sh: done"

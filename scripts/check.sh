@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # Repo verification gate (the merge bar — CI runs exactly this):
 #   1. tier-1: configure + build + full ctest in ./build
-#   2. tsan: rebuild the concurrency-sensitive suites under ThreadSanitizer
+#   2. fleet: `ctest -L fleet_shard` (spill/checkpoint/resume property
+#      tests) plus a spill-mode smoke of the fig10 sweep — the same calls
+#      under --processes 1 and --processes 2 must merge to byte-identical
+#      percentiles, metrics, and timeline artifacts.
+#   3. tsan: rebuild the concurrency-sensitive suites under ThreadSanitizer
 #      (-DKWIKR_SANITIZE=thread) and run `ctest -L obs` + `ctest -L faults`
 #      + `ctest -L frame_path` + `ctest -L cc_aqm` + `ctest -L timeline`
-#      (registry merge paths, fleet sharding, the golden corpus whose
-#      byte-stability depends on worker-count independence, the frame-path
-#      primitives the sharded runs lean on, the CC x qdisc grid that rides
-#      the same fleet, and the timeline telemetry whose population
-#      byte-identity runs worker-local samplers in parallel).
-#   3. perf: Release-mode micro_eventloop + micro_channel smoke against the
+#      + `ctest -L fleet_shard` (registry merge paths, fleet sharding, the
+#      golden corpus whose byte-stability depends on worker-count
+#      independence, the frame-path primitives the sharded runs lean on,
+#      the CC x qdisc grid that rides the same fleet, the timeline
+#      telemetry whose population byte-identity runs worker-local samplers
+#      in parallel, and the multi-process shard runner whose fork/merge
+#      paths must stay clean when the chunk functions spin up their own
+#      pools).
+#   4. perf: Release-mode micro_eventloop + micro_channel smoke against the
 #      committed BENCH_eventloop.json / BENCH_channel.json — fails when the
 #      headline throughput regresses more than 20% or the dispatch / frame
 #      path allocates.
@@ -81,16 +88,37 @@ step_tier1() {
   ctest --test-dir build --output-on-failure -j "$jobs"
 }
 
+step_fleet() {
+  cmake --build build -j "$jobs" --target fleet_shard_test fig10_wild_delay
+  ctest --test-dir build -L fleet_shard --output-on-failure -j "$jobs"
+  # Spill-mode smoke: one worker process vs two must merge byte-identically.
+  local fig10=./build/bench/fig10_wild_delay
+  ensure_spill_dir build/fleet-smoke/p1
+  ensure_spill_dir build/fleet-smoke/p2
+  "$fig10" --calls 12 --call-seconds 2 --spill-dir build/fleet-smoke/p1 \
+    --processes 1 --checkpoint-every 4 --metrics --timeline > /dev/null
+  "$fig10" --calls 12 --call-seconds 2 --spill-dir build/fleet-smoke/p2 \
+    --processes 2 --checkpoint-every 4 --metrics --timeline > /dev/null
+  local artifact
+  for artifact in percentiles.json metrics.prom timeline.jsonl; do
+    cmp "build/fleet-smoke/p1/merged/$artifact" \
+        "build/fleet-smoke/p2/merged/$artifact"
+  done
+  echo "fleet spill smoke: merged artifacts byte-identical across" \
+       "--processes 1 and --processes 2"
+}
+
 step_tsan() {
   ensure_build_dir build-tsan "" thread
   cmake --build build-tsan -j "$jobs" \
     --target obs_test fleet_test faults_test frame_path_test cc_aqm_test \
-    timeline_test golden_runner
+    timeline_test fleet_shard_test golden_runner
   ctest --test-dir build-tsan -L obs --output-on-failure -j "$jobs"
   ctest --test-dir build-tsan -L faults --output-on-failure -j "$jobs"
   ctest --test-dir build-tsan -L frame_path --output-on-failure -j "$jobs"
   ctest --test-dir build-tsan -L cc_aqm --output-on-failure -j "$jobs"
   ctest --test-dir build-tsan -L timeline --output-on-failure -j "$jobs"
+  ctest --test-dir build-tsan -L fleet_shard --output-on-failure -j "$jobs"
 }
 
 step_bench() {
@@ -108,6 +136,7 @@ step_bench() {
 }
 
 run_step "tier-1: build + full test suite" step_tier1
+run_step "fleet: shard-runner suite + spill split-identity smoke" step_fleet
 
 if [[ "$run_tsan" == 1 ]]; then
   run_step "tsan: obs + faults suites under ThreadSanitizer" step_tsan

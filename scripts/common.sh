@@ -29,3 +29,19 @@ ensure_build_dir() {
   args+=("-DKWIKR_SANITIZE=$sanitize")
   cmake "${args[@]}" >/dev/null
 }
+
+# ensure_spill_dir <dir>
+#
+# Gives the shard runner a *fresh* spill directory. The runner's resume
+# path is deliberately conservative: a checkpoint manifest left behind by an
+# earlier sweep with the same fingerprint would short-circuit a fresh run
+# ("everything already completed"), and one from a different sweep makes
+# --resume refuse outright. Scripted runs that want a clean sweep must
+# therefore wipe the directory first — stale manifests are state, not
+# cache, and the cache-wipe rules ensure_build_dir applies to sanitizer
+# flags apply equally here.
+ensure_spill_dir() {
+  local dir="$1"
+  rm -rf "$dir"
+  mkdir -p "$dir"
+}

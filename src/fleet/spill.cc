@@ -1,0 +1,183 @@
+#include "fleet/spill.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sys/stat.h>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace kwikr::fleet {
+namespace {
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool SpillWriter::Open(const std::string& path, std::uint64_t resume_bytes,
+                       std::string* error) {
+  Close();
+  if (resume_bytes == 0) {
+    // Fresh (or restarted-from-scratch) worker: plain truncating create.
+    file_ = std::fopen(path.c_str(), "wb");
+  } else {
+    if (!TruncateSpillFile(path, resume_bytes, error)) return false;
+    file_ = std::fopen(path.c_str(), "ab");
+  }
+  if (file_ == nullptr) {
+    return Fail(error, "spill: cannot open " + path + " for writing");
+  }
+  path_ = path;
+  bytes_ = resume_bytes;
+  return true;
+}
+
+bool SpillWriter::Append(std::string_view bytes) {
+  if (bytes.empty()) return true;
+  if (file_ == nullptr) return false;
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return false;
+  }
+  bytes_ += bytes.size();
+  return true;
+}
+
+bool SpillWriter::Flush() {
+  return file_ != nullptr && std::fflush(file_) == 0;
+}
+
+void SpillWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::optional<std::uint64_t> SpillFileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+bool TruncateSpillFile(const std::string& path, std::uint64_t size,
+                       std::string* error) {
+  const auto current = SpillFileSize(path);
+  if (!current.has_value()) {
+    if (size == 0) {
+      // Creating an empty file counts as truncating a missing one to 0.
+      std::FILE* file = std::fopen(path.c_str(), "wb");
+      if (file == nullptr) return Fail(error, "spill: cannot create " + path);
+      std::fclose(file);
+      return true;
+    }
+    return Fail(error, "spill: " + path + " is missing but its checkpoint "
+                "manifest records bytes — cannot resume");
+  }
+  if (*current < size) {
+    return Fail(error, "spill: " + path + " is shorter (" +
+                std::to_string(*current) + " bytes) than its checkpoint "
+                "manifest records (" + std::to_string(size) +
+                ") — corrupt spill, cannot resume");
+  }
+  if (*current == size) return true;
+#if defined(__unix__) || defined(__APPLE__)
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Fail(error, "spill: cannot truncate " + path);
+  }
+  return true;
+#else
+  return Fail(error, "spill: truncation unsupported on this platform");
+#endif
+}
+
+namespace {
+
+/// Shared streaming read loop: hands `limit` bytes of `path` to `consume`
+/// in bounded buffers, validating the file is long enough.
+bool StreamBytes(const std::string& path, std::uint64_t limit,
+                 const std::function<bool(std::string_view)>& consume,
+                 std::string* error) {
+  if (limit == 0) return true;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Fail(error, "spill: cannot open " + path + " for reading");
+  }
+  std::vector<char> buffer(1 << 20);
+  std::uint64_t remaining = limit;
+  bool ok = true;
+  while (remaining > 0) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, buffer.size()));
+    const std::size_t got = std::fread(buffer.data(), 1, want, file);
+    if (got == 0) {
+      ok = Fail(error, "spill: " + path + " ended " +
+                std::to_string(remaining) + " bytes short of its checkpoint "
+                "manifest — corrupt spill");
+      break;
+    }
+    if (!consume(std::string_view(buffer.data(), got))) {
+      ok = false;
+      break;
+    }
+    remaining -= got;
+  }
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace
+
+bool ForEachSpillLine(const std::string& path, std::uint64_t limit,
+                      const std::function<bool(std::string_view)>& fn,
+                      std::string* error) {
+  std::string carry;  // partial line spanning a buffer boundary.
+  const bool ok = StreamBytes(
+      path, limit,
+      [&](std::string_view chunk) {
+        std::size_t begin = 0;
+        while (begin < chunk.size()) {
+          const std::size_t newline = chunk.find('\n', begin);
+          if (newline == std::string_view::npos) {
+            carry.append(chunk.substr(begin));
+            return true;
+          }
+          const std::string_view rest = chunk.substr(begin, newline - begin + 1);
+          if (carry.empty()) {
+            if (!fn(rest)) return false;
+          } else {
+            carry.append(rest);
+            if (!fn(carry)) return false;
+            carry.clear();
+          }
+          begin = newline + 1;
+        }
+        return true;
+      },
+      error);
+  if (!ok) return false;
+  if (!carry.empty()) {
+    return Fail(error, "spill: " + path + " checkpointed range ends inside a "
+                "line — truncated or corrupt trailing JSONL, refusing to "
+                "merge");
+  }
+  return true;
+}
+
+bool ForEachSpillChunk(const std::string& path, std::uint64_t limit,
+                       const std::function<void(std::string_view)>& fn,
+                       std::string* error) {
+  return StreamBytes(
+      path, limit,
+      [&](std::string_view chunk) {
+        fn(chunk);
+        return true;
+      },
+      error);
+}
+
+}  // namespace kwikr::fleet

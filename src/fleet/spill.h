@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace kwikr::fleet {
+
+/// Append-mode spill file with byte accounting.
+///
+/// A shard worker streams per-call JSONL here instead of accumulating
+/// results in RAM. Durability contract for checkpoint/resume: `Flush`
+/// pushes everything appended so far into the kernel (fflush → write), so a
+/// SIGKILL after Flush can no longer lose those bytes; the checkpoint
+/// manifest records a byte offset only after the flush, which means any
+/// torn or corrupt trailing line always lies *beyond* the last recorded
+/// offset and is discarded (and its chunk re-run) on resume.
+class SpillWriter {
+ public:
+  SpillWriter() = default;
+  ~SpillWriter() { Close(); }
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  /// Truncates `path` to `resume_bytes` (creating it when absent) and opens
+  /// it for appending. `resume_bytes` is the manifest-recorded offset — 0
+  /// for a fresh run.
+  bool Open(const std::string& path, std::uint64_t resume_bytes,
+            std::string* error);
+
+  bool Append(std::string_view bytes);
+  bool Flush();
+  void Close();
+
+  /// Bytes in the file up to and including everything appended so far.
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  std::string path_;
+};
+
+/// Size of `path` in bytes; nullopt when it does not exist / can't be stat'd.
+std::optional<std::uint64_t> SpillFileSize(const std::string& path);
+
+/// Truncates `path` to exactly `size` bytes (the resume path for dropping a
+/// torn tail). Fails when the file is *smaller* than `size` — a spill file
+/// shorter than its checkpoint manifest claims is unrecoverable corruption,
+/// not a torn tail.
+bool TruncateSpillFile(const std::string& path, std::uint64_t size,
+                       std::string* error);
+
+/// Streams the first `limit` bytes of `path` line by line, bounded memory.
+/// Each callback gets one line including its trailing '\n'. Fails when the
+/// file is shorter than `limit` or when the limit cuts a line in half: every
+/// checkpointed byte range ends on a line boundary, so a partial line inside
+/// it is corruption that must not be silently merged.
+bool ForEachSpillLine(const std::string& path, std::uint64_t limit,
+                      const std::function<bool(std::string_view)>& fn,
+                      std::string* error);
+
+/// Streams the first `limit` bytes of `path` as raw chunks (for payloads
+/// merged by concatenation, e.g. timeline JSONL). Same length validation.
+bool ForEachSpillChunk(const std::string& path, std::uint64_t limit,
+                       const std::function<void(std::string_view)>& fn,
+                       std::string* error);
+
+}  // namespace kwikr::fleet

@@ -115,6 +115,7 @@ std::vector<MetricsRegistry::Row> MetricsRegistry::Snapshot() const {
     row.labels = key.second;
     row.kind = Row::Kind::kGauge;
     row.gauge_value = gauge->value();
+    row.gauge_set = gauge->has_value();
     rows.push_back(std::move(row));
   }
   for (const auto& [key, cell] : histograms_) {

@@ -116,6 +116,10 @@ class MetricsRegistry {
     Kind kind = Kind::kCounter;
     std::uint64_t counter_value = 0;
     double gauge_value = 0.0;
+    /// False for a gauge series that exists but was never Set/Max'd — the
+    /// unset sentinel must survive serialization, or a cross-process merge
+    /// would turn it into a spurious 0.0 that swallows negative maxima.
+    bool gauge_set = true;
     stats::Histogram histogram;  ///< only meaningful for kHistogram.
   };
 

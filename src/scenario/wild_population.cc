@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
 #include "fleet/scenario_shards.h"
@@ -231,6 +234,157 @@ WildResults RunWildPopulation(const WildConfig& config) {
   }
   if (config.metrics != nullptr) config.metrics->Merge(stage->registry());
   return results;
+}
+
+void RunWildRange(
+    const WildConfig& config, std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t index, WildCallResult&& result)>&
+        sink) {
+  if (end <= begin) return;
+  const sim::Rng base_rng(config.base_seed);
+  const bool observed =
+      config.metrics != nullptr || config.fleet_metrics != nullptr;
+  fleet::FleetMetrics local_stage;
+  fleet::FleetMetrics* stage =
+      config.fleet_metrics != nullptr ? config.fleet_metrics : &local_stage;
+
+  // The slice runs through the same fleet runner as the full population —
+  // only the index base differs, and every per-environment input (seed
+  // fork, fault-matrix row) keys on the *global* index.
+  auto report = fleet::RunFleet(
+      static_cast<std::size_t>(end - begin), config.jobs,
+      [&](std::size_t local) {
+        const auto index = static_cast<std::size_t>(begin + local);
+        return RunObservedTask(observed, stage,
+                               [&](obs::MetricsRegistry* local_registry) {
+                                 return RunOneEnvironment(
+                                     config, index, base_rng.Fork(index),
+                                     local_registry);
+                               });
+      });
+  if (!report.ok()) {
+    const fleet::TaskFailure& first = report.failures.front();
+    throw std::runtime_error(
+        "wild call " + std::to_string(begin + first.index) + ": " +
+        first.error);
+  }
+  if (config.metrics != nullptr) config.metrics->Merge(stage->registry());
+  for (std::size_t local = 0; local < report.results.size(); ++local) {
+    sink(begin + local, std::move(report.results[local]));
+  }
+}
+
+namespace {
+
+void AppendDoubleField(std::string* out, const char* key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), ",\"%s\":%.17g", key, value);
+  *out += buffer;
+}
+
+/// Strict sequential field parsers (same pattern as the checkpoint
+/// manifest's): machine-written lines have a fixed key order, so any
+/// deviation is corruption, not style.
+bool ParseKey(std::string_view line, std::size_t* pos, std::string_view key) {
+  std::string expect = ",\"";
+  expect += key;
+  expect += "\":";
+  if (line.substr(*pos, expect.size()) != expect) return false;
+  *pos += expect.size();
+  return true;
+}
+
+bool ParseU64(std::string_view line, std::size_t* pos, std::uint64_t* out) {
+  const std::size_t start = *pos;
+  std::uint64_t value = 0;
+  while (*pos < line.size() && line[*pos] >= '0' && line[*pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[*pos] - '0');
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleField(std::string_view line, std::size_t* pos,
+                      std::string_view key, double* out) {
+  if (!ParseKey(line, pos, key)) return false;
+  // The numeric token ends at the next ',' or '}' — both are impossible
+  // inside a %.17g rendering.
+  const std::size_t stop = line.find_first_of(",}", *pos);
+  if (stop == std::string_view::npos || stop == *pos) return false;
+  const std::string token(line.substr(*pos, stop - *pos));
+  char* parse_end = nullptr;
+  *out = std::strtod(token.c_str(), &parse_end);
+  if (parse_end != token.c_str() + token.size()) return false;
+  *pos = stop;
+  return true;
+}
+
+bool ParseIntField(std::string_view line, std::size_t* pos,
+                   std::string_view key, std::uint64_t* out) {
+  return ParseKey(line, pos, key) && ParseU64(line, pos, out);
+}
+
+}  // namespace
+
+std::string EncodeWildCallLine(std::uint64_t index,
+                               const WildCallResult& result) {
+  std::string out = "{\"call\":" + std::to_string(index);
+  AppendDoubleField(&out, "p95_tq_ms", result.p95_tq_ms);
+  AppendDoubleField(&out, "p95_ta_ms", result.p95_ta_ms);
+  AppendDoubleField(&out, "p95_tc_ms", result.p95_tc_ms);
+  out += ",\"probe_samples\":" + std::to_string(result.probe_samples);
+  AppendDoubleField(&out, "baseline_rate_kbps", result.baseline_rate_kbps);
+  AppendDoubleField(&out, "kwikr_rate_kbps", result.kwikr_rate_kbps);
+  AppendDoubleField(&out, "baseline_loss_pct", result.baseline_loss_pct);
+  AppendDoubleField(&out, "kwikr_loss_pct", result.kwikr_loss_pct);
+  AppendDoubleField(&out, "baseline_rtt_p50_ms", result.baseline_rtt_p50_ms);
+  AppendDoubleField(&out, "kwikr_rtt_p50_ms", result.kwikr_rtt_p50_ms);
+  out += ",\"wmm\":";
+  out += result.wmm_enabled ? '1' : '0';
+  out += ",\"cross_stations\":" + std::to_string(result.cross_stations);
+  out += ",\"events\":" + std::to_string(result.events_executed);
+  out += "}\n";
+  return out;
+}
+
+bool DecodeWildCallLine(std::string_view line, std::uint64_t* index,
+                        WildCallResult* result) {
+  if (!line.empty() && line.back() == '\n') line.remove_suffix(1);
+  constexpr std::string_view kPrefix = "{\"call\":";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return false;
+  std::size_t pos = kPrefix.size();
+  if (!ParseU64(line, &pos, index)) return false;
+
+  WildCallResult r;
+  std::uint64_t probe_samples = 0;
+  std::uint64_t wmm = 0;
+  std::uint64_t cross_stations = 0;
+  if (!ParseDoubleField(line, &pos, "p95_tq_ms", &r.p95_tq_ms) ||
+      !ParseDoubleField(line, &pos, "p95_ta_ms", &r.p95_ta_ms) ||
+      !ParseDoubleField(line, &pos, "p95_tc_ms", &r.p95_tc_ms) ||
+      !ParseIntField(line, &pos, "probe_samples", &probe_samples) ||
+      !ParseDoubleField(line, &pos, "baseline_rate_kbps",
+                        &r.baseline_rate_kbps) ||
+      !ParseDoubleField(line, &pos, "kwikr_rate_kbps", &r.kwikr_rate_kbps) ||
+      !ParseDoubleField(line, &pos, "baseline_loss_pct",
+                        &r.baseline_loss_pct) ||
+      !ParseDoubleField(line, &pos, "kwikr_loss_pct", &r.kwikr_loss_pct) ||
+      !ParseDoubleField(line, &pos, "baseline_rtt_p50_ms",
+                        &r.baseline_rtt_p50_ms) ||
+      !ParseDoubleField(line, &pos, "kwikr_rtt_p50_ms", &r.kwikr_rtt_p50_ms) ||
+      !ParseIntField(line, &pos, "wmm", &wmm) || wmm > 1 ||
+      !ParseIntField(line, &pos, "cross_stations", &cross_stations) ||
+      !ParseIntField(line, &pos, "events", &r.events_executed)) {
+    return false;
+  }
+  if (line.substr(pos) != "}") return false;
+  r.probe_samples = static_cast<int>(probe_samples);
+  r.wmm_enabled = wmm == 1;
+  r.cross_stations = static_cast<int>(cross_stations);
+  *result = std::move(r);
+  return true;
 }
 
 AbBucketRow ComputeAbBucket(const WildResults& results, double threshold_ms) {

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fleet/fleet_metrics.h"
@@ -114,6 +116,33 @@ struct WildResults {
 /// Runs the population; deterministic in `config.base_seed` alone —
 /// `config.jobs` changes wall-clock time, never the results.
 WildResults RunWildPopulation(const WildConfig& config);
+
+/// Streaming variant for the shard runner: runs the contiguous population
+/// slice [begin, end) and hands each environment's result to `sink` in
+/// ascending global-index order, never holding more than the slice in RAM.
+/// Seeds fork from `config.base_seed` at the *global* index (and the fault
+/// matrix likewise keys on the global index), so any partition of [0,
+/// calls) into ranges reproduces RunWildPopulation's per-call results
+/// bit-identically. `config.calls` is ignored; `config.jobs` still
+/// parallelizes within the slice. Throws std::runtime_error if any
+/// environment in the slice fails — a spilled range must be all-or-nothing
+/// so checkpoints never record a hole.
+void RunWildRange(
+    const WildConfig& config, std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t index, WildCallResult&& result)>&
+        sink);
+
+/// Canonical spill-line codec for one environment's result:
+/// `{"call":<index>,...}\n` with %.17g doubles, so a decode → encode
+/// round-trip is byte-identical and merged spill files compare with cmp(1).
+/// `timeline_jsonl` is deliberately excluded — timeline bytes travel in
+/// their own spill stream.
+std::string EncodeWildCallLine(std::uint64_t index,
+                               const WildCallResult& result);
+/// Strict parse of one line (with or without the trailing '\n'); false on
+/// any deviation from the canonical form.
+bool DecodeWildCallLine(std::string_view line, std::uint64_t* index,
+                        WildCallResult* result);
 
 /// One row of Table 3: calls whose p95 cross-traffic delay is at least
 /// `threshold_ms`, with the average/median bandwidth gain and significance.

@@ -10,8 +10,11 @@ namespace kwikr::sim {
 bool EventLoop::FindNextL0(std::uint64_t* tick) const {
   // Circular scan of the 256-bit occupancy map starting just after the scan
   // position. Bucket index == tick & 255, and every occupied bucket's tick
-  // is in (scanned_tick_, scanned_tick_ + 255], so the circular distance
-  // from `start` recovers the absolute tick unambiguously.
+  // is in (scanned_tick_, scanned_tick_ + 256] — 256 consecutive ticks in
+  // 256 distinct buckets — so the circular distance from `start` recovers
+  // the absolute tick unambiguously. (Inserts stop at scanned_tick_ + 255;
+  // only an L1 cascade can park an entry at the full +256 distance, in its
+  // window's last tick.)
   const std::uint32_t start = (scanned_tick_ + 1) & (kL0Buckets - 1);
   std::uint32_t word = start >> 6;
   for (std::uint32_t i = 0; i < 5; ++i, word = (word + 1) & 3) {
@@ -64,10 +67,12 @@ void EventLoop::DrainL0(std::uint64_t tick) {
 void EventLoop::CascadeL1(std::uint64_t window) {
   // The scan stops just short of this L1 window's first tick, which makes
   // the whole window — ticks [window << 8, window << 8 + 255] — exactly the
-  // L0 ring's addressable range (scanned_tick_, scanned_tick_ + 255], so
+  // L0 ring's addressable range (scanned_tick_, scanned_tick_ + 256], so
   // every entry cascades into L0 (merging with any entries already parked
-  // there) and none can land AT the scan position, where the circular
-  // bitmap scan could no longer see it.
+  // there). The window's LAST tick sits a full ring turn ahead of the scan
+  // position's bucket; that is still unambiguous — the circular scan maps
+  // that bucket to distance 255, i.e. tick scanned_tick_ + 256 — because
+  // the 256 addressable ticks occupy 256 distinct buckets.
   scanned_tick_ = (window << (kL1Shift - kL0Shift)) - 1;
   const std::uint32_t b = window & (kL1Buckets - 1);
   std::vector<HeapEntry>& bucket = l1_[b];
@@ -80,7 +85,7 @@ void EventLoop::CascadeL1(std::uint64_t window) {
       continue;
     }
     const auto tick = static_cast<std::uint64_t>(EntryTime(entry)) >> kL0Shift;
-    assert(tick > scanned_tick_ && tick - scanned_tick_ <= kL0Buckets - 1);
+    assert(tick > scanned_tick_ && tick - scanned_tick_ <= kL0Buckets);
     const std::uint32_t lb = tick & (kL0Buckets - 1);
     l0_[lb].push_back(entry);
     l0_bits_[lb >> 6] |= 1ull << (lb & 63);

@@ -51,6 +51,17 @@ void Histogram::Merge(const Histogram& other) {
   }
 }
 
+Histogram Histogram::FromParts(Config config, std::vector<std::int64_t> counts,
+                               std::int64_t count, double min, double max) {
+  Histogram histogram(config);
+  assert(counts.size() == config.bins);
+  histogram.counts_ = std::move(counts);
+  histogram.count_ = count;
+  histogram.min_ = min;
+  histogram.max_ = max;
+  return histogram;
+}
+
 double Histogram::min() const { return count_ > 0 ? min_ : 0.0; }
 
 double Histogram::max() const { return count_ > 0 ? max_ : 0.0; }

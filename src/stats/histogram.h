@@ -32,6 +32,15 @@ class Histogram {
   /// binning (lo/hi/bins); merging incompatible sketches is a logic error.
   void Merge(const Histogram& other);
 
+  /// Reconstructs a histogram from its serialized parts — the inverse of
+  /// reading (config, counts, count, min, max) off an existing sketch. The
+  /// cross-process spill/merge codecs depend on this to rebuild a worker's
+  /// sketch exactly on the other side of a file. `counts` must have
+  /// `config.bins` entries and sum to `count`; violating that is a logic
+  /// error (the codecs validate before calling).
+  static Histogram FromParts(Config config, std::vector<std::int64_t> counts,
+                             std::int64_t count, double min, double max);
+
   /// p-th percentile estimate, p in [0, 100]. An empty histogram returns
   /// 0.0, matching `stats::Percentile` on an empty input.
   [[nodiscard]] double Percentile(double p) const;

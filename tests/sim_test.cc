@@ -103,6 +103,42 @@ TEST(EventLoop, PastEventsClampToNow) {
   EXPECT_EQ(fired_at, Millis(10));
 }
 
+TEST(EventLoop, CascadeParksEntryAtFullWindowDistance) {
+  // Regression: an L1 cascade can legally park an entry a full L0-ring turn
+  // (256 ticks) ahead of the scan position — the last tick of the cascaded
+  // window when the scan sits just before the window boundary. The wheel's
+  // debug assert used to reject that distance and abort. L0 ticks are
+  // 2^13 ns wide and an L1 window spans 256 of them, so an event in tick
+  // 255 followed by one in tick 511 reproduces the exact geometry.
+  constexpr Time kL0Tick = 1 << 13;
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(255 * kL0Tick, [&] { order.push_back(1); });
+  loop.ScheduleAt(511 * kL0Tick, [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), 511 * kL0Tick);
+}
+
+TEST(EventLoop, CascadeBoundaryOffsetsDispatchInOrder) {
+  // Brute sweep of every pairwise geometry around the L0-ring boundary: a
+  // first event pins the scan position, a second lands at distances that
+  // straddle one and two full ring turns from it.
+  constexpr Time kL0Tick = 1 << 13;
+  for (std::int64_t first : {254, 255, 256, 257}) {
+    for (std::int64_t delta : {1, 255, 256, 257, 511, 512, 513}) {
+      EventLoop loop;
+      std::vector<std::int64_t> order;
+      loop.ScheduleAt(first * kL0Tick, [&] { order.push_back(first); });
+      loop.ScheduleAt((first + delta) * kL0Tick,
+                      [&] { order.push_back(first + delta); });
+      loop.Run();
+      EXPECT_EQ(order, (std::vector<std::int64_t>{first, first + delta}))
+          << "first " << first << " delta " << delta;
+    }
+  }
+}
+
 TEST(EventLoop, CancelPreventsExecution) {
   EventLoop loop;
   bool ran = false;
