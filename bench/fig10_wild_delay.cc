@@ -56,16 +56,25 @@ struct DelayAccumulator {
   // [0, 1000] ms at ~0.5 ms resolution: queueing delays beyond a second
   // clamp into the top bin but keep their exact max.
   static constexpr stats::Histogram::Config kBinning{0.0, 1000.0, 2048};
+  /// Paper §3.2: a per-call p95 needs at least this many ping-pair samples
+  /// to be meaningful; calls below the floor are excluded from every
+  /// distribution (and counted, so short --call-seconds runs warn loudly
+  /// instead of silently reporting percentiles of near-empty calls).
+  static constexpr std::uint64_t kSampleFloor = 10;
   stats::Histogram self_ms{kBinning};
   stats::Histogram cross_ms{kBinning};
   stats::Histogram total_ms{kBinning};
   std::uint64_t measurable = 0;
   std::uint64_t cross_dominated = 0;
   std::uint64_t events = 0;
+  std::uint64_t below_floor = 0;  ///< calls excluded by kSampleFloor.
 
   void Add(const scenario::WildCallResult& call) {
     events += call.events_executed;
-    if (call.probe_samples < 10) return;
+    if (call.probe_samples < kSampleFloor) {
+      ++below_floor;
+      return;
+    }
     self_ms.Add(call.p95_ta_ms);
     cross_ms.Add(call.p95_tc_ms);
     total_ms.Add(call.p95_tq_ms);
@@ -121,12 +130,34 @@ struct DelayAccumulator {
     series("cross_ms", cross_ms);
     series("total_ms", total_ms);
     std::snprintf(buffer, sizeof(buffer),
-                  ",\"cross_dominates_pct\":%.17g,\"events\":%llu}\n",
-                  DominatedPct(), static_cast<unsigned long long>(events));
+                  ",\"cross_dominates_pct\":%.17g,\"events\":%llu,"
+                  "\"sample_floor\":%llu,\"calls_below_floor\":%llu}\n",
+                  DominatedPct(), static_cast<unsigned long long>(events),
+                  static_cast<unsigned long long>(kSampleFloor),
+                  static_cast<unsigned long long>(below_floor));
     out += buffer;
     return out;
   }
 };
+
+/// Loud sub-floor warning shared by both modes: percentiles computed from
+/// calls with almost no probe samples are statistical noise, so short
+/// --call-seconds runs must not pass silently.
+void WarnBelowFloor(std::uint64_t below_floor, std::uint64_t total_calls,
+                    int call_seconds) {
+  if (below_floor == 0) return;
+  std::fprintf(
+      stderr,
+      "WARNING: %llu of %llu calls produced fewer than %llu ping-pair "
+      "samples (the paper's Section 3.2 floor) and were EXCLUDED from every "
+      "percentile above — a per-call p95 over so few samples is noise, not "
+      "a delay estimate. Raise --call-seconds (currently %d) until every "
+      "call clears the floor.\n",
+      static_cast<unsigned long long>(below_floor),
+      static_cast<unsigned long long>(total_calls),
+      static_cast<unsigned long long>(DelayAccumulator::kSampleFloor),
+      call_seconds);
+}
 
 /// --spill-dir mode: shard-runner execution + hierarchical merge.
 int RunSpillMode(int argc, char** argv, const char* spill_dir) {
@@ -308,6 +339,7 @@ int RunSpillMode(int argc, char** argv, const char* spill_dir) {
   }
 
   accumulator.PrintTable();
+  WarnBelowFloor(accumulator.below_floor, merge.items, call_seconds);
   const std::string percentiles = accumulator.Json(calls);
   {
     std::ofstream out(merged_dir + "/percentiles.json",
@@ -383,8 +415,12 @@ int main(int argc, char** argv) {
   std::vector<double> self_ms;
   std::vector<double> cross_ms;
   std::vector<double> total_ms;
+  std::uint64_t below_floor = 0;
   for (const auto& call : results.calls) {
-    if (call.probe_samples < 10) continue;
+    if (call.probe_samples < DelayAccumulator::kSampleFloor) {
+      ++below_floor;
+      continue;
+    }
     self_ms.push_back(call.p95_ta_ms);
     cross_ms.push_back(call.p95_tc_ms);
     total_ms.push_back(call.p95_tq_ms);
@@ -417,6 +453,8 @@ int main(int argc, char** argv) {
                 }
                 return measurable > 0 ? 100.0 * dominated / measurable : 0.0;
               }());
+  WarnBelowFloor(below_floor, results.calls.size(),
+                 bench::ParseIntFlag(argc, argv, "--call-seconds", 60));
 
   std::printf("\n");
   double serial_wall_ms = 0.0;

@@ -171,20 +171,54 @@ inline void EventLoop::Dispatch(std::uint32_t slot_index, Time at) {
     __builtin_prefetch(reinterpret_cast<const char*>(next) + 128);
   }
   assert(slot.occupied && !slot.cancelled);
+  assert(!rearm_pending_);
   slot.occupied = false;
   --live_;
   now_ = at;
   ++executed_;
+  // Rearmable events (ScheduleRearmableAt) are invoked NON-destructively so
+  // a RearmCurrentAt from inside the callback can re-enqueue the same slot
+  // and closure; everything else takes the fused invoke+destroy. The flag
+  // rides the slot cache line already loaded above, so the extra branch is
+  // one predicted-not-taken test on the common path.
+  const bool rearmable = slot.rearmable;
   if (probe_ == nullptr) {
-    slot.fn.InvokeAndDispose();
+    if (rearmable) {
+      slot.fn();
+    } else {
+      slot.fn.InvokeAndDispose();
+    }
   } else {
     const auto wall_begin = std::chrono::steady_clock::now();
-    slot.fn.InvokeAndDispose();
+    if (rearmable) {
+      slot.fn();
+    } else {
+      slot.fn.InvokeAndDispose();
+    }
     const double wall_us =
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - wall_begin)
             .count();
     probe_->OnExecuted(slot.type, now_, wall_us);
+  }
+  if (rearmable) {
+    if (rearm_pending_) {
+      // Reuse the slot in place: the generation is untouched (the original
+      // EventId keeps cancelling the chain), the closure is not re-emplaced,
+      // and no freelist churn happens — a burst firing costs one timer
+      // insert plus the dispatch itself.
+      rearm_pending_ = false;
+      slot.occupied = true;
+      ++live_;
+      if (rearm_type_ != nullptr) slot.type = rearm_type_;
+      if (rearm_at_ <= now_) {
+        now_queue_.push_back(std::uint32_t{slot_index});
+      } else {
+        InsertTimer(rearm_at_, slot_index);
+      }
+      return;
+    }
+    slot.fn.Dispose();  // chain over: destroy separately (non-fused path).
   }
   ReleaseSlot(slot_index);
 }

@@ -128,6 +128,47 @@ class EventLoop {
                       std::forward<F>(fn));
   }
 
+  /// Schedules a *rearmable* event: from inside its own callback, the event
+  /// may call RearmCurrentAt() to fire again, reusing its slot and callable —
+  /// the closure is neither destroyed nor reconstructed between firings, and
+  /// no slot churn (acquire/release, generation bump) happens per firing.
+  /// Built for long burst chains (the wifi TXOP path fires the same
+  /// continuation closure once per frame of a burst). The returned EventId
+  /// stays valid across rearms: Cancel(id) cancels whichever firing is
+  /// currently pending. A rearmable event that returns without rearming is
+  /// released exactly like a normal event.
+  ///
+  /// Cost note: a rearmable firing invokes the callable non-destructively and
+  /// pays a separate destroy when the chain ends, instead of the fused
+  /// invoke+destroy — one extra indirect call per *chain*, amortized across
+  /// its firings.
+  template <typename F, typename = EnableIfCallable<F>>
+  EventId ScheduleRearmableAt(Time at, const char* type, F&& fn) {
+    const EventId id = ScheduleAt(at, type, std::forward<F>(fn));
+    SlotAt(static_cast<std::uint32_t>((id >> 32) - 1)).rearmable = true;
+    return id;
+  }
+
+  /// Re-arms the currently-executing rearmable event to fire again at `at`
+  /// (clamped to now(); a same-tick rearm joins the same-tick FIFO lane like
+  /// a fresh ScheduleAt). Must only be called from inside the callback of an
+  /// event scheduled with ScheduleRearmableAt, at most once per firing.
+  /// `type`, when non-null, retags the event for the probe from the next
+  /// firing on (e.g. "wifi.tx_done" chains retag to "wifi.txop_burst").
+  void RearmCurrentAt(Time at, const char* type = nullptr) {
+    rearm_pending_ = true;
+    rearm_at_ = at;
+    rearm_type_ = type;
+  }
+
+  /// Records `count` logical event executions that were batched into the
+  /// current dispatch instead of being scheduled individually (the wifi
+  /// burst-delivery path invokes owner hooks inline). Keeps executed() — an
+  /// observable that the golden corpus commits to — stable across the
+  /// batching optimization. Callers fire the probe themselves when one is
+  /// attached (see probe()).
+  void CountInlineDispatches(std::uint64_t count) { executed_ += count; }
+
   /// Attaches (or with nullptr detaches) the execution probe.
   void SetProbe(EventLoopProbe* probe) { probe_ = probe; }
   [[nodiscard]] EventLoopProbe* probe() const { return probe_; }
@@ -250,6 +291,9 @@ class EventLoop {
     std::uint32_t next_free = kNilSlot;
     bool occupied = false;
     bool cancelled = false;
+    /// Set by ScheduleRearmableAt: Dispatch invokes non-destructively and
+    /// honours RearmCurrentAt from inside the callback.
+    bool rearmable = false;
   };
 
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
@@ -303,6 +347,7 @@ class EventLoop {
     // invoke+destroy, and Cancel disposes at cancel time.
     slot.occupied = false;
     slot.cancelled = false;
+    slot.rearmable = false;
     ++slot.generation;  // invalidates every EventId minted for this tenancy.
     slot.next_free = free_head_;
     free_head_ = index;
@@ -510,6 +555,12 @@ class EventLoop {
   /// can advance (its events are at now_, never later than any other
   /// pending event).
   FrameRing<std::uint32_t> now_queue_;
+  /// RearmCurrentAt latch, consumed by Dispatch after a rearmable callback
+  /// returns. Dispatch is not re-entrant (single-threaded loop, callbacks
+  /// never run the loop recursively), so one latch suffices.
+  bool rearm_pending_ = false;
+  Time rearm_at_ = 0;
+  const char* rearm_type_ = nullptr;
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kNilSlot;

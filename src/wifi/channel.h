@@ -12,6 +12,7 @@
 #include "sim/function_ref.h"
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "wifi/airtime_cache.h"
 #include "wifi/edca.h"
 #include "wifi/edca_core.h"
 
@@ -81,10 +82,14 @@ using FrameErrorModel =
 /// (index arithmetic, no deque segment churn), and the contention math —
 /// countdown bases, backoff counters, the CW ladder — lives in wifi::EdcaCore
 /// as struct-of-arrays columns swept in batched, largely branchless passes
-/// with generation-stamped lazy backlog removal. Per-frame airtime is a
-/// one-entry (bytes, rate) memo per contender: saturated queues repeat the
-/// same frame shape, so the PHY airtime division runs only on a shape
-/// change. See DESIGN.md §11 and §14.
+/// (vectorized with SSE2/NEON kernels where the timing permits — see
+/// wifi/edca_simd.h) with generation-stamped lazy backlog removal. Per-frame
+/// airtime goes through a small shared (rate, size) -> duration table
+/// (wifi::AirtimeCache), so the PHY airtime division runs once per frame
+/// SHAPE per run, not per contender transition. TXOP bursts ride ONE
+/// rearmable finish event (sim::EventLoop::RearmCurrentAt) and deliver each
+/// frame's owner hook inline at its exact finish tick instead of scheduling
+/// a per-frame delivery event. See DESIGN.md §11, §14 and §16.
 class Channel {
  public:
   /// Delivery callback: frame arrived intact at its destination. MacInfo in
@@ -165,6 +170,45 @@ class Channel {
     return txop_continuations_;
   }
 
+  /// The shared airtime shape cache (introspection: hit/miss counters feed
+  /// the bench --breakdown record and the frame_path tests).
+  [[nodiscard]] const AirtimeCache& airtime_cache() const {
+    return airtime_cache_;
+  }
+
+  /// Per-stage cycle attribution for bench/micro_channel --breakdown.
+  /// Detached (nullptr, the default) the frame cycle pays one predictable
+  /// null-check branch per instrumented stage and no clock reads — the same
+  /// contract as the flight recorder (DESIGN.md §15).
+  struct StageProfile {
+    std::uint64_t arbitration_cycles = 0;  ///< EdcaCore sweeps + winner work.
+    std::uint64_t airtime_cycles = 0;      ///< airtime cache lookups.
+    std::uint64_t delivery_cycles = 0;     ///< owner delivery hooks.
+    std::uint64_t arbitration_calls = 0;
+    std::uint64_t airtime_calls = 0;
+    std::uint64_t delivery_calls = 0;
+  };
+  void SetStageProfile(StageProfile* profile) { stage_profile_ = profile; }
+
+  /// Burst delivery batching: when on (the default), a delivered frame's
+  /// owner hook runs inline at the tail of the finishing tx event — exact
+  /// same tick, exact same hook order, one event-loop dispatch per burst
+  /// frame instead of two — and TXOP continuations rearm the finish event in
+  /// place instead of scheduling a fresh one. Off restores the pre-batching
+  /// scheduled-delivery path (kept as the differential reference; the golden
+  /// corpus must be byte-identical either way). Per-instance; flip only at
+  /// setup.
+  void SetDeliveryBatching(bool enabled) { delivery_batching_ = enabled; }
+  [[nodiscard]] bool delivery_batching() const { return delivery_batching_; }
+  /// Process-wide default for channels constructed afterwards (test-only:
+  /// lets the golden on/off differential reach channels built deep inside
+  /// scenario runners). Not thread-safe; set it before spawning workers.
+  static void SetDefaultDeliveryBatchingForTest(bool enabled);
+
+  /// Rebuilds the delivery staging ring with `capacity` slots (test-only:
+  /// forces the overflow fallback path; capacity 0 rejects every push).
+  void SetDeliverStageCapacityForTest(std::size_t capacity);
+
  private:
   struct Contender {
     OwnerId owner = 0;
@@ -173,14 +217,6 @@ class Channel {
     sim::FrameRing<Frame> queue;
     int attempts = 0;        ///< attempts for the head frame.
     sim::Duration txop_used = 0;  ///< airtime consumed in the current TXOP.
-    /// One-entry airtime memo: FrameAirtime(bytes, rate) is pure and the
-    /// steady state transmits runs of identically-shaped frames, so caching
-    /// the last (bytes, rate) pair removes the TransmissionTime division
-    /// from nearly every transmission. rate 0 is the empty sentinel (a rate
-    /// of 0 bps is not transmittable).
-    std::int32_t airtime_bytes = 0;
-    std::int64_t airtime_rate_bps = 0;
-    sim::Duration airtime_memo = 0;
     std::uint64_t delivered = 0;
     std::uint64_t queue_drops = 0;
     std::uint64_t retry_drops = 0;
@@ -193,8 +229,13 @@ class Channel {
   };
 
   [[nodiscard]] bool MediumIdle() const;
-  /// Airtime of `f` through the contender's one-entry memo.
-  [[nodiscard]] sim::Duration FrameAirtimeCached(Contender& c, const Frame& f);
+  /// Airtime of `f` through the shared shape cache (profiled when a
+  /// StageProfile is attached).
+  [[nodiscard]] sim::Duration FrameAirtimeCached(const Frame& f);
+  /// Invokes every staged owner hook (batching mode), counting each as a
+  /// logical dispatch so EventLoop::executed() — a golden-corpus observable —
+  /// matches the scheduled-delivery path exactly.
+  void DrainStagedDeliveries();
   void BeginIdlePeriod();
   void ScheduleArbitration();
   /// Arms (or re-arms) the arbitration event for candidate time `earliest`
@@ -212,6 +253,9 @@ class Channel {
   sim::Rng rng_;
   PhyParams phy_;
   EdcaCore edca_;  ///< the batched SoA contention machine.
+  /// Shared (rate, size) -> airtime table; points at phy_, so it must be
+  /// declared after it.
+  AirtimeCache airtime_cache_;
   FrameErrorModel error_model_;
   DeliveryFaultHook delivery_fault_hook_;
   DropHandler drop_handler_;
@@ -249,6 +293,9 @@ class Channel {
   sim::Time busy_started_ = 0;
   std::uint64_t collisions_ = 0;
   std::uint64_t txop_continuations_ = 0;
+
+  bool delivery_batching_ = true;  ///< see SetDeliveryBatching.
+  StageProfile* stage_profile_ = nullptr;
 };
 
 }  // namespace kwikr::wifi

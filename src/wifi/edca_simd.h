@@ -1,0 +1,297 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "sim/fastdiv.h"
+#include "sim/time.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define KWIKR_EDCA_SIMD_SSE2 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define KWIKR_EDCA_SIMD_NEON 1
+#endif
+
+namespace kwikr::wifi::edca_simd {
+
+/// Whether a vector implementation of the EDCA column sweeps is compiled in.
+/// Without one, the kernels below resolve to the scalar branchless loops —
+/// the same loops the differential reference pins, so behaviour is identical
+/// either way (see DESIGN.md §16).
+inline constexpr bool kHaveSimd =
+#if defined(KWIKR_EDCA_SIMD_SSE2) || defined(KWIKR_EDCA_SIMD_NEON)
+    true;
+#else
+    false;
+#endif
+
+inline constexpr sim::Time kNoCandidate = std::numeric_limits<sim::Time>::max();
+
+/// Both kernels sweep the FULL SoA columns [0, n) gather-free, masking dead
+/// lanes with `counting` — valid because counting[id] != 0 implies the
+/// contender is a live backlog member (every Leave/OnTxFailure clears the
+/// flag), so masked lanes contribute nothing and their stale base/backoff
+/// arithmetic is computed-then-discarded, never UB (vector lanes, no traps).
+///
+/// Value-range contract (the EdcaCore gate enforces it before selecting the
+/// vector path):
+///  * counting lanes have a drawn backoff: 0 <= backoff < 2^31;
+///  * slot fits u32 (the 32x32->64 lane multiply is exact for any backoff);
+///  * for the freeze kernel, magic != 0, magic < 2^32, and every counting
+///    lane's positive delta = start - base is < FastDiv::kMaxFastDividend
+///    (checked per arbitration in the scalar winner pass) so the
+///    multiply-shift equals floor(delta / slot) exactly.
+
+// ----------------------------------------------------------- scalar forms --
+// Branchless scalar kernels: the portable fallback AND the semantics
+// definition the vector paths must match bit for bit (unit-tested against
+// each other over randomized columns in tests/frame_path_test.cc).
+
+inline sim::Time MinCandidateMaskedScalar(const sim::Time* base,
+                                          const std::int32_t* backoff,
+                                          const std::uint8_t* counting,
+                                          std::size_t n, std::uint32_t slot) {
+  sim::Time earliest = kNoCandidate;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Time cand =
+        base[i] + static_cast<sim::Duration>(backoff[i]) *
+                      static_cast<sim::Duration>(slot);
+    cand = counting[i] != 0 ? cand : kNoCandidate;
+    earliest = cand < earliest ? cand : earliest;
+  }
+  return earliest;
+}
+
+inline void FreezeColumnsScalar(sim::Time start, const sim::Time* base,
+                                const sim::Time* cand, std::int32_t* backoff,
+                                std::uint8_t* counting, std::size_t n,
+                                std::uint64_t magic) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool was_counting = counting[i] != 0;
+    const bool winner = cand[i] == start;
+    const sim::Duration delta = start - base[i];
+    const auto consumed = static_cast<std::int32_t>(
+        delta > 0 ? static_cast<std::int64_t>(
+                        (static_cast<std::uint64_t>(delta) * magic) >>
+                        sim::FastDiv::kMagicShift)
+                  : 0);
+    const std::int32_t frozen = std::max(0, backoff[i] - consumed);
+    backoff[i] = (was_counting && !winner) ? frozen : backoff[i];
+    counting[i] = static_cast<std::uint8_t>(was_counting && winner);
+  }
+}
+
+// ------------------------------------------------------------- SSE2 forms --
+#if defined(KWIKR_EDCA_SIMD_SSE2)
+
+namespace detail {
+/// a > b for signed 64-bit lanes whose difference cannot overflow (all EDCA
+/// operands are in [-(2^62), 2^62]): the sign of b - a decides, and SSE2's
+/// 32-bit arithmetic shift replicated over the high dwords broadcasts it.
+inline __m128i CmpGt64(__m128i a, __m128i b) {
+  const __m128i diff = _mm_sub_epi64(b, a);
+  const __m128i sign = _mm_srai_epi32(diff, 31);
+  return _mm_shuffle_epi32(sign, _MM_SHUFFLE(3, 3, 1, 1));
+}
+
+inline __m128i Select(__m128i mask, __m128i if_true, __m128i if_false) {
+  return _mm_or_si128(_mm_and_si128(mask, if_true),
+                      _mm_andnot_si128(mask, if_false));
+}
+
+/// 64-bit lane masks (all-ones / all-zero) from two {0,1} counting bytes.
+inline __m128i MaskFromCounting(std::uint8_t c0, std::uint8_t c1) {
+  return _mm_set_epi64x(-static_cast<std::int64_t>(c1),
+                        -static_cast<std::int64_t>(c0));
+}
+}  // namespace detail
+
+inline sim::Time MinCandidateMasked(const sim::Time* base,
+                                    const std::int32_t* backoff,
+                                    const std::uint8_t* counting,
+                                    std::size_t n, std::uint32_t slot) {
+  const __m128i slot_v = _mm_set1_epi64x(static_cast<std::int64_t>(slot));
+  const __m128i max_v = _mm_set1_epi64x(kNoCandidate);
+  __m128i acc = max_v;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i base_v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + i));
+    // Two backoffs land in 32-bit lanes {0,1}; spread to {0,2} so the
+    // unsigned 32x32->64 multiply reads them. Dead lanes may hold -1
+    // (undrawn) — their product is garbage and masked off below.
+    const __m128i b32 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(backoff + i));
+    const __m128i spread = _mm_shuffle_epi32(b32, _MM_SHUFFLE(3, 1, 3, 0));
+    const __m128i prod = _mm_mul_epu32(spread, slot_v);
+    const __m128i cand = _mm_add_epi64(base_v, prod);
+    const __m128i live = detail::MaskFromCounting(counting[i], counting[i + 1]);
+    const __m128i masked = detail::Select(live, cand, max_v);
+    acc = detail::Select(detail::CmpGt64(acc, masked), masked, acc);
+  }
+  alignas(16) std::int64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  sim::Time earliest = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+  for (; i < n; ++i) {
+    sim::Time cand =
+        base[i] + static_cast<sim::Duration>(backoff[i]) *
+                      static_cast<sim::Duration>(slot);
+    cand = counting[i] != 0 ? cand : kNoCandidate;
+    earliest = cand < earliest ? cand : earliest;
+  }
+  return earliest;
+}
+
+inline void FreezeColumns(sim::Time start, const sim::Time* base,
+                          const sim::Time* cand, std::int32_t* backoff,
+                          std::uint8_t* counting, std::size_t n,
+                          std::uint64_t magic) {
+  const __m128i start_v = _mm_set1_epi64x(start);
+  const __m128i magic_v = _mm_set1_epi64x(static_cast<std::int64_t>(magic));
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i base_v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + i));
+    const __m128i cand_v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(cand + i));
+    const __m128i was = detail::MaskFromCounting(counting[i], counting[i + 1]);
+    // winner: 64-bit equality from two 32-bit equalities.
+    const __m128i eq32 = _mm_cmpeq_epi32(cand_v, start_v);
+    const __m128i winner = _mm_and_si128(
+        eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+    // consumed = delta > 0 ? (delta * magic) >> 40 : 0. Negative deltas are
+    // zeroed before the multiply; live counting lanes are < 2^24 (gate), so
+    // the low-dword lane multiply is the exact FastDiv multiply-shift.
+    const __m128i delta = _mm_sub_epi64(start_v, base_v);
+    const __m128i dneg = detail::CmpGt64(zero, delta);
+    const __m128i dpos = _mm_andnot_si128(dneg, delta);
+    const __m128i consumed =
+        _mm_srli_epi64(_mm_mul_epu32(dpos, magic_v), sim::FastDiv::kMagicShift);
+    // frozen = max(0, backoff - consumed), in 64-bit lanes. Counting lanes
+    // have backoff >= 0, so the zero-extending spread is value-preserving.
+    const __m128i b32 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(backoff + i));
+    const __m128i b64 = _mm_shuffle_epi32(b32, _MM_SHUFFLE(3, 1, 3, 0));
+    const __m128i b64z = _mm_and_si128(
+        b64, _mm_set1_epi64x(0x00000000FFFFFFFFll));
+    const __m128i sub = _mm_sub_epi64(b64z, consumed);
+    const __m128i frozen = _mm_andnot_si128(detail::CmpGt64(zero, sub), sub);
+    // backoff = (was && !winner) ? frozen : backoff.
+    const __m128i take = _mm_andnot_si128(winner, was);
+    const __m128i out64 = detail::Select(take, frozen, b64z);
+    // Repack the two result dwords (lanes 0 and 2) into 8 bytes. Lanes that
+    // kept their old value round-trip exactly: a kept backoff may be -1
+    // (undrawn dead lane) whose zero-extension is truncated right back.
+    const __m128i packed = _mm_shuffle_epi32(out64, _MM_SHUFFLE(3, 3, 2, 0));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(backoff + i), packed);
+    // counting = was && winner — two bytes, cheaper recomputed scalar than
+    // funnelled through a vector byte store.
+    counting[i] = static_cast<std::uint8_t>(counting[i] != 0 &&
+                                            cand[i] == start);
+    counting[i + 1] = static_cast<std::uint8_t>(counting[i + 1] != 0 &&
+                                                cand[i + 1] == start);
+  }
+  if (i < n) {
+    FreezeColumnsScalar(start, base + i, cand + i, backoff + i, counting + i,
+                        n - i, magic);
+  }
+}
+
+// ------------------------------------------------------------- NEON forms --
+#elif defined(KWIKR_EDCA_SIMD_NEON)
+
+inline sim::Time MinCandidateMasked(const sim::Time* base,
+                                    const std::int32_t* backoff,
+                                    const std::uint8_t* counting,
+                                    std::size_t n, std::uint32_t slot) {
+  const uint32x2_t slot_v = vdup_n_u32(slot);
+  const int64x2_t max_v = vdupq_n_s64(kNoCandidate);
+  int64x2_t acc = max_v;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t base_v = vld1q_s64(base + i);
+    const uint32x2_t b32 = vreinterpret_u32_s32(vld1_s32(backoff + i));
+    const uint64x2_t prod = vmull_u32(b32, slot_v);
+    const int64x2_t cand = vaddq_s64(base_v, vreinterpretq_s64_u64(prod));
+    const uint64x2_t live = {counting[i] ? ~0ull : 0ull,
+                             counting[i + 1] ? ~0ull : 0ull};
+    const int64x2_t masked = vbslq_s64(live, cand, max_v);
+    acc = vbslq_s64(vcgtq_s64(acc, masked), masked, acc);
+  }
+  sim::Time earliest =
+      std::min(vgetq_lane_s64(acc, 0), vgetq_lane_s64(acc, 1));
+  for (; i < n; ++i) {
+    sim::Time cand =
+        base[i] + static_cast<sim::Duration>(backoff[i]) *
+                      static_cast<sim::Duration>(slot);
+    cand = counting[i] != 0 ? cand : kNoCandidate;
+    earliest = cand < earliest ? cand : earliest;
+  }
+  return earliest;
+}
+
+inline void FreezeColumns(sim::Time start, const sim::Time* base,
+                          const sim::Time* cand, std::int32_t* backoff,
+                          std::uint8_t* counting, std::size_t n,
+                          std::uint64_t magic) {
+  const int64x2_t start_v = vdupq_n_s64(start);
+  const uint32x2_t magic_v = vdup_n_u32(static_cast<std::uint32_t>(magic));
+  const int64x2_t zero = vdupq_n_s64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t base_v = vld1q_s64(base + i);
+    const int64x2_t cand_v = vld1q_s64(cand + i);
+    const uint64x2_t was = {counting[i] ? ~0ull : 0ull,
+                            counting[i + 1] ? ~0ull : 0ull};
+    const uint64x2_t winner = vceqq_s64(cand_v, start_v);
+    const int64x2_t delta = vsubq_s64(start_v, base_v);
+    const int64x2_t dpos =
+        vbslq_s64(vcgtq_s64(zero, delta), zero, delta);
+    // Low dwords of the (gated < 2^24) deltas times the (gated < 2^32) magic.
+    const uint32x2_t d32 = vmovn_u64(vreinterpretq_u64_s64(dpos));
+    const uint64x2_t consumed =
+        vshrq_n_u64(vmull_u32(d32, magic_v), sim::FastDiv::kMagicShift);
+    const uint32x2_t b32 = vreinterpret_u32_s32(vld1_s32(backoff + i));
+    const int64x2_t b64 = vreinterpretq_s64_u64(vmovl_u32(b32));
+    const int64x2_t sub = vsubq_s64(b64, vreinterpretq_s64_u64(consumed));
+    const int64x2_t frozen = vbslq_s64(vcgtq_s64(zero, sub), zero, sub);
+    const uint64x2_t take = vbicq_u64(was, winner);
+    const int64x2_t out64 = vbslq_s64(take, frozen, b64);
+    vst1_s32(backoff + i,
+             vreinterpret_s32_u32(vmovn_u64(vreinterpretq_u64_s64(out64))));
+    counting[i] = static_cast<std::uint8_t>(counting[i] != 0 &&
+                                            cand[i] == start);
+    counting[i + 1] = static_cast<std::uint8_t>(counting[i + 1] != 0 &&
+                                                cand[i + 1] == start);
+  }
+  if (i < n) {
+    FreezeColumnsScalar(start, base + i, cand + i, backoff + i, counting + i,
+                        n - i, magic);
+  }
+}
+
+// ---------------------------------------------------------- portable-only --
+#else
+
+inline sim::Time MinCandidateMasked(const sim::Time* base,
+                                    const std::int32_t* backoff,
+                                    const std::uint8_t* counting,
+                                    std::size_t n, std::uint32_t slot) {
+  return MinCandidateMaskedScalar(base, backoff, counting, n, slot);
+}
+
+inline void FreezeColumns(sim::Time start, const sim::Time* base,
+                          const sim::Time* cand, std::int32_t* backoff,
+                          std::uint8_t* counting, std::size_t n,
+                          std::uint64_t magic) {
+  FreezeColumnsScalar(start, base, cand, backoff, counting, n, magic);
+}
+
+#endif
+
+}  // namespace kwikr::wifi::edca_simd

@@ -11,23 +11,31 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "fleet/fleet_runner.h"
 #include "fleet/scenario_shards.h"
 #include "net/packet.h"
+#include "scenario/fault_scenario.h"
 #include "scenario/wild_population.h"
 #include "sim/event_loop.h"
+#include "sim/fastdiv.h"
 #include "sim/frame_ring.h"
 #include "sim/function_ref.h"
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "wifi/airtime_cache.h"
 #include "wifi/channel.h"
 #include "wifi/edca.h"
 #include "wifi/edca_core.h"
+#include "wifi/edca_simd.h"
 
 namespace kwikr {
 namespace {
@@ -444,11 +452,16 @@ class ScalarEdcaReference {
   std::vector<wifi::ContenderId> order_;  ///< backlog, insertion-ordered.
 };
 
-TEST(EdcaCoreDifferential, MatchesScalarReferenceOverRandomizedRounds) {
+/// The 10^5-round randomized differential, parameterized on the vector
+/// sweeps: run once with the SIMD kernels enabled (where compiled in) and
+/// once force-disabled, so BOTH generations of the batched core are pinned
+/// against the scalar reference — the contract KWIKR_EDCA_NO_SIMD relies on.
+void RunEdcaCoreDifferential(bool simd_enabled) {
   constexpr int kContenders = 12;
   constexpr int kRounds = 100'000;
   const sim::Duration slot = sim::Micros(9);
   wifi::EdcaCore core(slot);
+  core.SetSimdEnabled(simd_enabled);
   ScalarEdcaReference ref(slot);
   // Both machines consume from identically seeded streams: any divergence
   // in draw ORDER (not just draw values) desynchronizes the streams and
@@ -571,6 +584,379 @@ TEST(EdcaCoreDifferential, MatchesScalarReferenceOverRandomizedRounds) {
   // The workload must actually contend most rounds, or the test proves
   // nothing about arbitration.
   EXPECT_GT(arbitrations, kRounds / 2);
+}
+
+TEST(EdcaCoreDifferential, MatchesScalarReferenceWithSimdEnabled) {
+  RunEdcaCoreDifferential(/*simd_enabled=*/true);
+}
+
+TEST(EdcaCoreDifferential, MatchesScalarReferenceWithSimdForceDisabled) {
+  RunEdcaCoreDifferential(/*simd_enabled=*/false);
+}
+
+// ------------------------------------------------- SIMD kernel unit tests ----
+// The vector kernels (SSE2/NEON where compiled in; scalar aliases otherwise)
+// against the branchless scalar forms over randomized columns, including the
+// dead-lane garbage the full-column sweeps are specified to tolerate:
+// undrawn backoffs (-1), stale bases, stale candidate times.
+
+TEST(EdcaSimdKernels, MinCandidateMatchesScalarOnRandomColumns) {
+  sim::Rng rng(0x51D0'0001);
+  constexpr std::uint32_t kSlot = 9'000;
+  for (int trial = 0; trial < 2'000; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(0, 33));
+    std::vector<sim::Time> base(n);
+    std::vector<std::int32_t> backoff(n);
+    std::vector<std::uint8_t> counting(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      base[i] = rng.UniformInt(0, 1'000'000'000'000);
+      counting[i] = rng.Bernoulli(0.6) ? 1 : 0;
+      // Counting lanes have a drawn backoff (the kernel contract); dead
+      // lanes may carry the undrawn sentinel.
+      backoff[i] = counting[i] != 0 || rng.Bernoulli(0.5)
+                       ? static_cast<std::int32_t>(rng.UniformInt(0, 1023))
+                       : -1;
+    }
+    EXPECT_EQ(wifi::edca_simd::MinCandidateMasked(
+                  base.data(), backoff.data(), counting.data(), n, kSlot),
+              wifi::edca_simd::MinCandidateMaskedScalar(
+                  base.data(), backoff.data(), counting.data(), n, kSlot))
+        << "trial " << trial << " n " << n;
+  }
+}
+
+TEST(EdcaSimdKernels, FreezeColumnsMatchesScalarOnRandomColumns) {
+  sim::Rng rng(0x51D0'0002);
+  constexpr sim::Duration kSlot = 9'000;
+  const std::uint64_t magic = sim::FastDiv(kSlot).magic();
+  ASSERT_NE(magic, 0u);
+  ASSERT_LE(magic, 0xFFFFFFFFull);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(0, 33));
+    // start anywhere that keeps counting-lane deltas inside the FastDiv
+    // fast window — the same per-arbitration gate EdcaCore enforces.
+    const sim::Time start =
+        rng.UniformInt(0, sim::FastDiv::kMaxFastDividend / 2);
+    std::vector<sim::Time> base(n);
+    std::vector<sim::Time> cand(n);
+    std::vector<std::int32_t> backoff_a(n);
+    std::vector<std::uint8_t> counting_a(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      counting_a[i] = rng.Bernoulli(0.6) ? 1 : 0;
+      if (counting_a[i] != 0) {
+        backoff_a[i] = static_cast<std::int32_t>(rng.UniformInt(0, 1023));
+        // delta = start - base in (-2^20, 2^23): winners, losers, and the
+        // negative-delta (base after start) edge all occur.
+        base[i] = start - rng.UniformInt(-(1 << 20), 1 << 23);
+        // Pass 1 refreshed counting lanes' cand; make ~1/3 of them winners.
+        cand[i] = rng.Bernoulli(0.33)
+                      ? start
+                      : base[i] + static_cast<sim::Duration>(backoff_a[i]) *
+                                      kSlot;
+      } else {
+        // Dead lanes: arbitrary stale state, including cand == start.
+        backoff_a[i] = rng.Bernoulli(0.5)
+                           ? -1
+                           : static_cast<std::int32_t>(
+                                 rng.UniformInt(0, 1023));
+        base[i] = rng.UniformInt(0, 1'000'000'000'000);
+        cand[i] = rng.Bernoulli(0.2) ? start
+                                     : rng.UniformInt(0, 1'000'000'000'000);
+      }
+    }
+    std::vector<std::int32_t> backoff_b = backoff_a;
+    std::vector<std::uint8_t> counting_b = counting_a;
+    wifi::edca_simd::FreezeColumns(start, base.data(), cand.data(),
+                                   backoff_a.data(), counting_a.data(), n,
+                                   magic);
+    wifi::edca_simd::FreezeColumnsScalar(start, base.data(), cand.data(),
+                                         backoff_b.data(), counting_b.data(),
+                                         n, magic);
+    EXPECT_EQ(backoff_a, backoff_b) << "trial " << trial << " n " << n;
+    EXPECT_EQ(counting_a, counting_b) << "trial " << trial << " n " << n;
+  }
+}
+
+// ------------------------------------------------------- AirtimeCache ----
+
+TEST(AirtimeCache, MatchesDirectFrameAirtimeUnderRateChurn) {
+  const wifi::PhyParams phy;
+  wifi::AirtimeCache cache(phy);
+  // Rate-adaptation ladder walks: the ARF-style pattern of stepping one
+  // rung at a time, interleaved with random shape switches from a second
+  // traffic mix — the alternation that thrashed the old per-contender
+  // one-entry memo.
+  constexpr std::int64_t kLadder[] = {6'000'000,  9'000'000,  12'000'000,
+                                      18'000'000, 24'000'000, 36'000'000,
+                                      48'000'000, 54'000'000, 120'000'000};
+  constexpr int kRungs = static_cast<int>(std::size(kLadder));
+  // Payload sizes a real mix produces: probe echoes, voice, video, bulk —
+  // a handful of shapes, not a continuum (that is what makes a small shared
+  // table hold the entire working set).
+  constexpr std::int32_t kSizes[] = {84, 200, 600, 1200, 1460};
+  sim::Rng rng(0xA1271);
+  int rung = 4;
+  std::int32_t size_bytes = 1200;
+  for (int i = 0; i < 100'000; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      rung = std::clamp(rung + (rng.Bernoulli(0.5) ? 1 : -1), 0, kRungs - 1);
+    }
+    if (rng.Bernoulli(0.1)) {
+      size_bytes = kSizes[rng.UniformInt(0, std::size(kSizes) - 1)];
+    }
+    const std::int64_t rate = kLadder[rung];
+    ASSERT_EQ(cache.Lookup(size_bytes, rate),
+              phy.FrameAirtime(size_bytes, rate))
+        << "i " << i << " size " << size_bytes << " rate " << rate;
+  }
+  // The working set is tiny, so the cache must be absorbing nearly all of
+  // the churn (this is the whole point of sharing the table).
+  EXPECT_GT(cache.hits(), cache.misses() * 10);
+}
+
+TEST(AirtimeCache, EvictionIsDeterministicAndValuesStayCorrect) {
+  const wifi::PhyParams phy;
+  // 4 slots + probe limit 4: any working set beyond 4 shapes must evict.
+  wifi::AirtimeCache a(phy, 4);
+  wifi::AirtimeCache b(phy, 4);
+  EXPECT_EQ(a.slots(), 4u);
+  sim::Rng rng(0xE71C7);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto size = static_cast<std::int32_t>(rng.UniformInt(1, 64) * 20);
+    const std::int64_t rate = rng.UniformInt(1, 16) * 6'000'000;
+    const sim::Duration expect = phy.FrameAirtime(size, rate);
+    ASSERT_EQ(a.Lookup(size, rate), expect);
+    ASSERT_EQ(b.Lookup(size, rate), expect);
+  }
+  EXPECT_GT(a.evictions(), 0u);
+  // Identical key sequences must take identical hit/miss/eviction paths —
+  // the cache's COST sequence is deterministic, not just its values.
+  EXPECT_EQ(a.hits(), b.hits());
+  EXPECT_EQ(a.misses(), b.misses());
+  EXPECT_EQ(a.evictions(), b.evictions());
+}
+
+TEST(AirtimeCache, ValuesAreCapacityInvariant) {
+  const wifi::PhyParams phy;
+  wifi::AirtimeCache tiny(phy, 1);
+  wifi::AirtimeCache small(phy, 8);
+  wifi::AirtimeCache big(phy, 1024);
+  sim::Rng rng(0xCAFE5);
+  for (int i = 0; i < 5'000; ++i) {
+    const auto size = static_cast<std::int32_t>(rng.UniformInt(40, 1500));
+    const std::int64_t rate = rng.UniformInt(1, 20) * 6'000'000;
+    const sim::Duration expect = phy.FrameAirtime(size, rate);
+    ASSERT_EQ(tiny.Lookup(size, rate), expect);
+    ASSERT_EQ(small.Lookup(size, rate), expect);
+    ASSERT_EQ(big.Lookup(size, rate), expect);
+  }
+}
+
+// ------------------------------------------------- EventLoop rearm lane ----
+
+TEST(EventLoopRearm, RearmReusesTheEventAcrossFirings) {
+  sim::EventLoop loop;
+  std::vector<sim::Time> fired;
+  loop.ScheduleRearmableAt(10, "test.rearm", [&] {
+    fired.push_back(loop.now());
+    if (fired.size() < 3) loop.RearmCurrentAt(loop.now() + 10);
+  });
+  loop.Run();
+  EXPECT_EQ(fired, (std::vector<sim::Time>{10, 20, 30}));
+  EXPECT_EQ(loop.executed(), 3u);
+}
+
+TEST(EventLoopRearm, OriginalEventIdCancelsTheRearmedFiring) {
+  sim::EventLoop loop;
+  int fires = 0;
+  const sim::EventId id =
+      loop.ScheduleRearmableAt(10, "test.rearm", [&] {
+        ++fires;
+        loop.RearmCurrentAt(loop.now() + 10);
+      });
+  // Let exactly two firings happen, then cancel: the slot generation is
+  // untouched by rearming, so the original id must still hit.
+  loop.ScheduleAt(25, "test.cancel", [&] { EXPECT_TRUE(loop.Cancel(id)); });
+  loop.Run();
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(EventLoopRearm, SameTickRearmRunsThisTick) {
+  sim::EventLoop loop;
+  std::string order;
+  loop.ScheduleAt(10, "test.a", [&] { order += 'a'; });
+  loop.ScheduleRearmableAt(10, "test.r", [&] {
+    order += 'r';
+    if (order.size() < 4) loop.RearmCurrentAt(loop.now());  // same tick
+  });
+  loop.ScheduleAt(10, "test.b", [&] { order += 'b'; });
+  loop.Run();
+  // First r-firing rearms at the SAME tick: the rearmed event joins the
+  // same-tick FIFO behind b, exactly like a fresh ScheduleAt(now) would.
+  EXPECT_EQ(order, "arbr");
+  EXPECT_EQ(loop.now(), 10);
+}
+
+TEST(EventLoopRearm, NotRearmingReleasesTheSlot) {
+  sim::EventLoop loop;
+  int fires = 0;
+  const sim::EventId id =
+      loop.ScheduleRearmableAt(5, "test.once", [&] { ++fires; });
+  loop.Run();
+  EXPECT_EQ(fires, 1);
+  // The slot was released at the end of the single firing: the id is dead.
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopRearm, CountInlineDispatchesFeedsExecuted) {
+  sim::EventLoop loop;
+  loop.ScheduleAt(1, "test.batch", [&] { loop.CountInlineDispatches(41); });
+  loop.Run();
+  // 1 real dispatch + 41 logical inline ones.
+  EXPECT_EQ(loop.executed(), 42u);
+}
+
+// ------------------------------------------------- burst delivery batching ----
+
+/// Closed-loop AP->station harness that records every delivery as
+/// (flow, sim time): a BE bulk downlink plus a VI downlink whose TXOP limit
+/// makes bursts happen, so the batching on/off differential covers both the
+/// fresh-win path and the rearm continuation path.
+class RecordingBss {
+ public:
+  explicit RecordingBss(bool batching)
+      : channel_(loop_, sim::Rng(0xB0B0)) {
+    channel_.SetDeliveryBatching(batching);
+    const auto handler =
+        wifi::Channel::DeliveryHandler::Member<&RecordingBss::OnDelivery>(
+            this);
+    const wifi::OwnerId ap = channel_.RegisterOwner(handler);
+    const wifi::OwnerId sta = channel_.RegisterOwner(handler);
+    const auto edca = wifi::DefaultEdcaParams();
+    auto make = [&](wifi::OwnerId owner, wifi::OwnerId dest,
+                    wifi::AccessCategory ac, std::int32_t size) {
+      tx_[tx_count_] =
+          Tx{channel_.CreateContender(owner, ac, edca[wifi::Index(ac)], 32),
+             dest, size};
+      ++tx_count_;
+    };
+    make(ap, sta, wifi::AccessCategory::kBestEffort, 1200);
+    make(ap, sta, wifi::AccessCategory::kVideo, 1000);
+    make(sta, ap, wifi::AccessCategory::kBestEffort, 600);
+    for (std::uint32_t i = 0; i < tx_count_; ++i) {
+      for (int k = 0; k < 8; ++k) Refill(i);
+    }
+  }
+
+  [[nodiscard]] wifi::Channel& channel() { return channel_; }
+
+  void RunFor(sim::Duration d) { loop_.RunFor(d); }
+
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, sim::Time>>&
+  deliveries() const {
+    return deliveries_;
+  }
+  [[nodiscard]] std::uint64_t executed() const { return loop_.executed(); }
+
+ private:
+  struct Tx {
+    wifi::ContenderId id = 0;
+    wifi::OwnerId dest = 0;
+    std::int32_t size = 0;
+  };
+
+  void Refill(std::uint32_t index) {
+    net::Packet p;
+    p.size_bytes = tx_[index].size;
+    p.flow = index;
+    channel_.Enqueue(tx_[index].id,
+                     wifi::Frame{std::move(p), tx_[index].dest, 60'000'000});
+  }
+
+  void OnDelivery(wifi::Frame&& frame) {
+    deliveries_.emplace_back(frame.packet.flow, loop_.now());
+    Refill(frame.packet.flow);
+  }
+
+  sim::EventLoop loop_;
+  wifi::Channel channel_;
+  Tx tx_[3];
+  std::uint32_t tx_count_ = 0;
+  std::vector<std::pair<std::uint32_t, sim::Time>> deliveries_;
+};
+
+TEST(BurstDelivery, HookOrderAndTimestampsIdenticalBatchingOnAndOff) {
+  RecordingBss on(/*batching=*/true);
+  RecordingBss off(/*batching=*/false);
+  on.RunFor(sim::Millis(200));
+  off.RunFor(sim::Millis(200));
+  ASSERT_GT(on.deliveries().size(), 500u);
+  // The whole contract in one comparison: every delivery hook fires for the
+  // same frame at the same sim tick in the same order, and the logical
+  // event count (CountInlineDispatches compensation) matches the scheduled
+  // path exactly.
+  EXPECT_EQ(on.deliveries(), off.deliveries());
+  EXPECT_EQ(on.executed(), off.executed());
+  // The batching run must actually have exercised the rearm continuation.
+  EXPECT_GT(on.channel().txop_continuations(), 0u);
+  EXPECT_EQ(on.channel().txop_continuations(),
+            off.channel().txop_continuations());
+}
+
+TEST(BurstDelivery, StageOverflowFallsBackToScheduledDelivery) {
+  RecordingBss normal(/*batching=*/true);
+  RecordingBss starved(/*batching=*/true);
+  // Capacity 0 rejects every push: EVERY delivery takes the by-value
+  // fallback closure, with batching still on.
+  starved.channel().SetDeliverStageCapacityForTest(0);
+  normal.RunFor(sim::Millis(100));
+  starved.RunFor(sim::Millis(100));
+  ASSERT_GT(normal.deliveries().size(), 300u);
+  // The fallback is a same-tick scheduled event, so frames, order and
+  // timestamps are unchanged — only the vehicle differs.
+  EXPECT_EQ(normal.deliveries(), starved.deliveries());
+  EXPECT_EQ(normal.executed(), starved.executed());
+}
+
+// ------------------------------------- golden corpus batching differential ----
+
+TEST(GoldenCorpusBatchingDifferential, ByteIdenticalWithBatchingOnAndOff) {
+  namespace fs = std::filesystem;
+  const fs::path corpus(KWIKR_GOLDEN_DIR);
+  ASSERT_TRUE(fs::exists(corpus)) << corpus;
+  int scenarios = 0;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (entry.path().extension() != ".scenario") continue;
+    ++scenarios;
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in) << entry.path();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    scenario::FaultScenario parsed;
+    std::string error;
+    ASSERT_TRUE(scenario::ParseFaultScenario(buf.str(), &parsed, &error))
+        << entry.path() << ": " << error;
+
+    wifi::Channel::SetDefaultDeliveryBatchingForTest(true);
+    const std::string with_batching =
+        scenario::ToCanonicalJson(scenario::RunFaultScenario(parsed));
+    wifi::Channel::SetDefaultDeliveryBatchingForTest(false);
+    const std::string without_batching =
+        scenario::ToCanonicalJson(scenario::RunFaultScenario(parsed));
+    wifi::Channel::SetDefaultDeliveryBatchingForTest(true);
+
+    // Byte-identical against each other AND against the committed corpus:
+    // batching may not move a single observable, including events_executed.
+    EXPECT_EQ(with_batching, without_batching) << entry.path();
+    std::ifstream want(fs::path(entry.path()).replace_extension(
+                           ".expected.json"),
+                       std::ios::binary);
+    ASSERT_TRUE(want) << entry.path();
+    std::ostringstream want_buf;
+    want_buf << want.rdbuf();
+    EXPECT_EQ(with_batching, want_buf.str()) << entry.path();
+  }
+  EXPECT_GT(scenarios, 0);
 }
 
 // ---------------------------------------------------- MergeShardStreams ----
